@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Figure benchmarks run the same sweeps as ``repro.experiments.figures`` at
+a reduced dataset scale (``REPRO_BENCH_SCALE`` env var, default 0.1) so
+the full suite completes in minutes; paper-scale outputs are produced by
+``python -m repro.experiments.run --all`` and recorded in EXPERIMENTS.md.
+
+Every benchmark also sanity-asserts the figure's qualitative shape
+(orderings, not absolute numbers) so a regression in any engine model
+fails loudly here.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float = 0.1) -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,87 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+§III-C.3 highlights OSU-IB's tuning surface (RDMA packet size, caching,
+pairs per packet).  These ablations quantify each knob's contribution in
+the model, mirroring §IV-C's observation that "tuning of these parameters
+can also play a major role".
+"""
+
+import pytest
+
+from repro.cluster import westmere_cluster
+from repro.mapreduce import run_job, sort_job, terasort_job
+
+from .conftest import bench_scale
+
+GB = 1024**3
+
+
+def _terasort(engine: str, size_gb: float, **overrides):
+    conf = terasort_job(size_gb * GB, 4, engine, **overrides)
+    return run_job(westmere_cluster(4, n_disks=1), "ipoib", conf)
+
+
+def _sort_ssd(engine: str, size_gb: float, **overrides):
+    conf = sort_job(size_gb * GB, 4, engine, **overrides)
+    return run_job(westmere_cluster(4, n_disks=1, node_kind="ssd"), "ipoib", conf)
+
+
+@pytest.mark.parametrize("packet_kb", [32, 128, 1024])
+def test_ablation_rdma_packet_size(benchmark, packet_kb):
+    """RDMA packet-size tuning (the paper's mapred-rdma packet knob)."""
+    size = 30 * bench_scale(0.2)
+    result = benchmark.pedantic(
+        lambda: _terasort("rdma", size, rdma_packet_bytes=packet_kb * 1024),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.execution_time > 0
+
+
+@pytest.mark.parametrize("caching", [True, False])
+def test_ablation_caching(benchmark, caching):
+    """mapred.local.caching.enabled on/off (Figure 8's knob) on TeraSort."""
+    size = 30 * bench_scale(0.2)
+    result = benchmark.pedantic(
+        lambda: _terasort("rdma", size, caching_enabled=caching),
+        rounds=1,
+        iterations=1,
+    )
+    hits = result.counters.get("cache.hits", 0)
+    assert (hits > 0) == caching
+
+
+@pytest.mark.parametrize("pairs", [100, 1310, 10000])
+def test_ablation_hadoopa_pairs_per_packet(benchmark, pairs):
+    """Hadoop-A's fixed pair count on Sort: the Figure 6 failure knob."""
+    size = 15 * bench_scale(0.25)
+    result = benchmark.pedantic(
+        lambda: _sort_ssd("hadoopa", size, hadoopa_pairs_per_packet=pairs),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.execution_time > 0
+
+
+@pytest.mark.parametrize("copies", [2, 5, 20])
+def test_ablation_vanilla_parallel_copies(benchmark, copies):
+    """mapred.reduce.parallel.copies for the vanilla shuffle."""
+    size = 30 * bench_scale(0.2)
+    result = benchmark.pedantic(
+        lambda: _terasort("http", size, parallel_copies=copies),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.execution_time > 0
+
+
+@pytest.mark.parametrize("replication", [1, 3])
+def test_ablation_output_replication(benchmark, replication):
+    """HDFS output replication: loads all designs alike (see calibration)."""
+    size = 30 * bench_scale(0.2)
+    result = benchmark.pedantic(
+        lambda: _terasort("rdma", size, output_replication=replication),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.execution_time > 0

@@ -1,0 +1,31 @@
+"""Figure 4(a): TeraSort on a 4-node cluster, 1 vs 2 HDDs.
+
+Regenerates the figure's 8 series x 3 sort sizes at bench scale and
+checks the qualitative shape: times grow with sort size, and OSU-IB beats
+the socket baselines at the largest point.
+"""
+
+from repro.experiments.figures import fig4a
+
+from .conftest import bench_scale
+
+
+def _check_shape(fig):
+    for series in fig.series:
+        xs = sorted(series.points)
+        for a, b in zip(xs, xs[1:]):
+            assert series.points[b] > series.points[a] * 0.8, (
+                f"{series.label}: time should grow with sort size"
+            )
+    top = max(fig.xs())
+    osu = fig.series_by_label("OSU-IB (32Gbps)-1disk").points[top]
+    ipoib = fig.series_by_label("IPoIB (32Gbps)-1disk").points[top]
+    assert osu < ipoib, "OSU-IB must beat IPoIB on TeraSort"
+
+
+def test_fig4a_terasort_4nodes(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: fig4a(scale=scale), rounds=1, iterations=1
+    )
+    _check_shape(result)

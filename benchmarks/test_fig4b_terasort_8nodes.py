@@ -1,0 +1,22 @@
+"""Figure 4(b): TeraSort on an 8-node cluster, 60-100 GB, 1 vs 2 HDDs."""
+
+from repro.experiments.figures import fig4b
+
+from .conftest import bench_scale
+
+
+def test_fig4b_terasort_8nodes(benchmark):
+    scale = bench_scale()
+    fig = benchmark.pedantic(lambda: fig4b(scale=scale), rounds=1, iterations=1)
+    top = max(fig.xs())
+    osu1 = fig.series_by_label("OSU-IB (32Gbps)-1disk").points[top]
+    ha1 = fig.series_by_label("HadoopA-IB (32Gbps)-1disk").points[top]
+    ipoib1 = fig.series_by_label("IPoIB (32Gbps)-1disk").points[top]
+    assert osu1 < ha1 < ipoib1 * 1.05, (
+        "expected OSU-IB < Hadoop-A <~ IPoIB on TeraSort (paper Fig. 4b)"
+    )
+    # Two disks help every design.
+    for label in ("OSU-IB (32Gbps)", "IPoIB (32Gbps)"):
+        one = fig.series_by_label(f"{label}-1disk").points[top]
+        two = fig.series_by_label(f"{label}-2disks").points[top]
+        assert two < one, f"{label}: second disk must improve the job time"

@@ -1,0 +1,21 @@
+"""Figure 5: TeraSort at 100 GB / 12 nodes and 200 GB / 24 nodes.
+
+Storage-node preset (24 GB RAM): the PrefetchCache working set covers far
+more of the intermediate data than on 12 GB compute nodes.
+"""
+
+from repro.experiments.figures import fig5
+
+from .conftest import bench_scale
+
+
+def test_fig5_terasort_large(benchmark):
+    scale = bench_scale(0.05)
+    fig = benchmark.pedantic(lambda: fig5(scale=scale), rounds=1, iterations=1)
+    for x in fig.xs():
+        osu = fig.series_by_label("OSU-IB (32Gbps)").points[x]
+        ipoib = fig.series_by_label("IPoIB (32Gbps)").points[x]
+        assert osu < ipoib, f"OSU-IB must beat IPoIB at {x} GB"
+    # Cache working set on 24 GB storage nodes should be near-total.
+    result = fig.series_by_label("OSU-IB (32Gbps)").results[100]
+    assert result.counters.get("cache.hit_rate", 0.0) > 0.5

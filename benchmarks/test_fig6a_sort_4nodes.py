@@ -1,0 +1,35 @@
+"""Figure 6(a): the Sort benchmark (variable KV sizes), 4 nodes, 1 HDD.
+
+The paper's qualitative headline here: Hadoop-A loses to plain IPoIB on
+Sort because its fixed pairs-per-packet shuffle degenerates on ~10 KB
+records, while OSU-IB's size-aware packets keep it fastest.
+"""
+
+from repro.experiments.figures import fig6a
+
+from .conftest import bench_scale
+
+
+def test_fig6a_sort_4nodes(benchmark):
+    # Default scale keeps the largest point above ~8 GB so Hadoop-A's
+    # staging overflow (the figure's mechanism) actually engages.
+    scale = bench_scale(0.4)
+    fig = benchmark.pedantic(lambda: fig6a(scale=scale), rounds=1, iterations=1)
+    top = max(fig.xs())
+    osu = fig.series_by_label("OSU-IB (32Gbps)").points[top]
+    ha = fig.series_by_label("HadoopA-IB (32Gbps)").points[top]
+    ipoib = fig.series_by_label("IPoIB (32Gbps)").points[top]
+    assert osu < ipoib, "OSU-IB must beat IPoIB on Sort"
+    assert osu < ha, "OSU-IB must beat Hadoop-A on Sort"
+    # The inversion (Hadoop-A slower than IPoIB) needs the full memory
+    # pressure of the paper-scale run; staging covers most runs only when
+    # the dataset outgrows the levitation budget by a wide margin.
+    if scale >= 0.75:
+        assert ha > ipoib * 0.95, (
+            "Hadoop-A should be no better than IPoIB on Sort (paper Fig. 6a)"
+        )
+    # Staging fallback (the mechanism) must engage for Hadoop-A once the
+    # per-run packet demand exceeds the levitation budget (~90 maps here).
+    result = fig.series_by_label("HadoopA-IB (32Gbps)").results[top]
+    if result.conf.n_maps > 100:
+        assert result.counters.get("reduce.staged_runs", 0) > 0

@@ -1,0 +1,15 @@
+"""Figure 6(b): the Sort benchmark, 8 nodes, 25-40 GB."""
+
+from repro.experiments.figures import fig6b
+
+from .conftest import bench_scale
+
+
+def test_fig6b_sort_8nodes(benchmark):
+    scale = bench_scale(0.15)
+    fig = benchmark.pedantic(lambda: fig6b(scale=scale), rounds=1, iterations=1)
+    top = max(fig.xs())
+    osu = fig.series_by_label("OSU-IB (32Gbps)").points[top]
+    ha = fig.series_by_label("HadoopA-IB (32Gbps)").points[top]
+    ipoib = fig.series_by_label("IPoIB (32Gbps)").points[top]
+    assert osu < ha and osu < ipoib

@@ -1,0 +1,21 @@
+"""Figure 7: the Sort benchmark with SSDs as the HDFS data store.
+
+With seeks nearly free, Hadoop-A's staging penalty softens (it recovers
+against IPoIB relative to Figure 6) while OSU-IB stays fastest.
+"""
+
+from repro.experiments.figures import fig7
+
+from .conftest import bench_scale
+
+
+def test_fig7_sort_ssd(benchmark):
+    scale = bench_scale(0.25)
+    fig = benchmark.pedantic(lambda: fig7(scale=scale), rounds=1, iterations=1)
+    top = max(fig.xs())
+    osu = fig.series_by_label("OSU-IB (32Gbps)").points[top]
+    ha = fig.series_by_label("HadoopA-IB (32Gbps)").points[top]
+    ipoib = fig.series_by_label("IPoIB (32Gbps)").points[top]
+    assert osu < ha and osu < ipoib
+    # SSD closes (or inverts) the Hadoop-A vs IPoIB gap seen on HDDs.
+    assert ha < ipoib * 1.1

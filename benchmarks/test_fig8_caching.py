@@ -1,0 +1,19 @@
+"""Figure 8: effect of the prefetch/caching mechanism (Sort on SSD)."""
+
+from repro.experiments.figures import fig8
+
+from .conftest import bench_scale
+
+
+def test_fig8_caching(benchmark):
+    scale = bench_scale(0.25)
+    fig = benchmark.pedantic(lambda: fig8(scale=scale), rounds=1, iterations=1)
+    top = max(fig.xs())
+    on = fig.series_by_label("OSU-IB (With Caching Enabled)").points[top]
+    off = fig.series_by_label("OSU-IB (Without Caching Enabled)").points[top]
+    ipoib = fig.series_by_label("IPoIB").points[top]
+    assert on <= off, "caching must never hurt"
+    assert on < ipoib, "OSU-IB with caching must beat IPoIB"
+    # The cache must actually be exercised when enabled.
+    result = fig.series_by_label("OSU-IB (With Caching Enabled)").results[top]
+    assert result.counters.get("cache.hits", 0) > 0

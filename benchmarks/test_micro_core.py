@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the core data structures and the DES kernel.
+
+These quantify the building blocks the figure benchmarks compose:
+merge throughput, packetizer throughput, cache operation rate, DES event
+rate, and flow re-rating cost — useful when profiling model changes.
+"""
+
+import numpy as np
+
+from repro.core.cache import PrefetchCache
+from repro.core.merge import KWayMerger
+from repro.core.packets import FixedPairsPacketizer, SizeAwarePacketizer
+from repro.core.virtualmerge import VirtualMerger
+from repro.network.flows import FlowNetwork, Link
+from repro.sim import Simulator
+from repro.workloads import TERASORT_RECORDS
+
+
+def _sorted_runs(n_runs: int, n_records: int) -> dict:
+    rng = np.random.default_rng(0)
+    return {
+        i: sorted(
+            TERASORT_RECORDS.generate(rng, n_records), key=lambda r: r[0]
+        )
+        for i in range(n_runs)
+    }
+
+
+def test_kway_merge_throughput(benchmark):
+    runs = _sorted_runs(16, 500)
+
+    def merge():
+        m = KWayMerger()
+        for rid, recs in runs.items():
+            m.add_run(rid)
+            m.feed(rid, recs, eof=True)
+        out = m.drain_ready()
+        assert len(out) == 16 * 500
+        return out
+
+    benchmark(merge)
+
+
+def test_virtual_merger_throughput(benchmark):
+    def run():
+        vm = VirtualMerger(expected_runs=400)
+        for i in range(400):
+            vm.add_run(i, 8e6)
+        total = 0.0
+        while not vm.exhausted:
+            for rid in vm.bottlenecks(8):
+                vm.feed(rid, 1e6)
+            total += vm.drain()
+        assert total > 0
+        return total
+
+    benchmark(run)
+
+
+def test_size_aware_packetizer_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    records = TERASORT_RECORDS.generate(rng, 20_000)
+    p = SizeAwarePacketizer(64 * 1024)
+    benchmark(lambda: sum(len(pkt) for pkt in p.packets(records)))
+
+
+def test_fixed_pairs_packetizer_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    records = TERASORT_RECORDS.generate(rng, 20_000)
+    p = FixedPairsPacketizer(1310)
+    benchmark(lambda: sum(len(pkt) for pkt in p.packets(records)))
+
+
+def test_prefetch_cache_ops(benchmark):
+    def churn():
+        c = PrefetchCache(1 << 20)
+        for i in range(2000):
+            c.insert(i, 4096)
+            c.hit(i % 500)
+        return c.stats.lookups
+
+    benchmark(churn)
+
+
+def test_des_event_rate(benchmark):
+    """Raw kernel throughput: ping-pong processes through a timeout chain."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.process(ticker(sim, 2000))
+        sim.run()
+        return sim.event_count
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_flow_network_rerate_rate(benchmark):
+    """Cost of progressive re-rating with a churning flow population."""
+
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        links = [Link(f"l{i}", 1e9) for i in range(16)]
+
+        def burst(sim, net, i):
+            yield sim.timeout(i * 1e-4)
+            yield net.transfer((links[i % 16], links[(i * 7 + 1) % 16]), 1e6)
+
+        for i in range(300):
+            sim.process(burst(sim, net, i))
+        sim.run()
+        return net.flow_count
+
+    assert benchmark(run) == 300

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""TeraSort on a simulated 8-node Westmere cluster, four ways.
+
+Reproduces a slice of Figure 4(b): the same TeraSort job over 1GigE,
+IPoIB, Hadoop-A, and OSU-IB, reporting job execution time, phase split,
+disk traffic, and cache behaviour.
+
+    python examples/terasort_cluster.py [size_gb] [n_nodes] [n_disks]
+
+The default 10 GB runs in a few seconds of wall time; the paper's
+100 GB point works too (about a minute of wall time per engine).
+"""
+
+import sys
+
+from repro.cluster import westmere_cluster
+from repro.mapreduce import run_job, terasort_job
+
+GB = 1024**3
+
+CONFIGS = [
+    ("1GigE", "gige", "http"),
+    ("IPoIB (32Gbps)", "ipoib", "http"),
+    ("HadoopA-IB (32Gbps)", "ipoib", "hadoopa"),
+    ("OSU-IB (32Gbps)", "ipoib", "rdma"),
+]
+
+
+def main() -> int:
+    size_gb = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    n_nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    n_disks = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    print(
+        f"TeraSort {size_gb:g} GB on {n_nodes} nodes x {n_disks} HDD "
+        f"(4 map + 4 reduce slots per node)\n"
+    )
+    header = (
+        f"{'configuration':22} {'job time':>9} {'map phase':>10} "
+        f"{'tail':>7} {'disk R+W':>10} {'cache hits':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    times = {}
+    for label, fabric, engine in CONFIGS:
+        conf = terasort_job(size_gb * GB, n_nodes, engine)
+        result = run_job(
+            westmere_cluster(n_nodes, n_disks=n_disks), fabric, conf
+        )
+        times[label] = result.execution_time
+        c = result.counters
+        disk = (c["disk.bytes_read"] + c["disk.bytes_written"]) / 1e9
+        print(
+            f"{label:22} {result.execution_time:>8.0f}s "
+            f"{result.map_phase_seconds:>9.0f}s "
+            f"{result.reduce_tail_seconds:>6.0f}s "
+            f"{disk:>8.1f}GB "
+            f"{c.get('cache.hit_rate', 0.0):>10.0%}"
+        )
+
+    osu = times["OSU-IB (32Gbps)"]
+    print()
+    for label in ("HadoopA-IB (32Gbps)", "IPoIB (32Gbps)", "1GigE"):
+        print(f"OSU-IB improvement over {label}: {1 - osu / times[label]:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(offline environments lack the `wheel` package required for PEP 660
+editable installs)."""
+
+from setuptools import setup
+
+setup()

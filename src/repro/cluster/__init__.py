@@ -1,0 +1,22 @@
+"""Cluster topology: nodes (CPU, RAM, disks, NIC) and testbed presets."""
+
+from repro.cluster.builder import Cluster, ClusterSpec, build_cluster
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.presets import (
+    ssd_node,
+    storage_node,
+    westmere_cluster,
+    westmere_node,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Node",
+    "NodeSpec",
+    "build_cluster",
+    "ssd_node",
+    "storage_node",
+    "westmere_cluster",
+    "westmere_node",
+]

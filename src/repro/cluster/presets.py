@@ -1,0 +1,59 @@
+"""Testbed presets matching the paper's experimental setup (§IV-A).
+
+* Compute nodes: Intel Westmere, dual quad-core Xeon @ 2.67 GHz (8 cores),
+  12 GB RAM, one 160 GB HDD, MT26428 QDR ConnectX HCA.
+* Storage nodes: same CPUs but 24 GB RAM; eight of them carry two 1 TB
+  HDDs; four carry Chelsio T320 10 GbE adapters; SSD experiments use these
+  nodes with a SATA SSD as the HDFS data store.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import GB, NodeSpec
+from repro.storage.disk import HDD_1TB, HDD_160GB, SSD_SATA, DiskSpec
+
+__all__ = ["ssd_node", "storage_node", "westmere_cluster", "westmere_node"]
+
+
+def westmere_node(name: str, n_disks: int = 1, disk: DiskSpec = HDD_160GB) -> NodeSpec:
+    """A compute node: 8 cores, 12 GB RAM, ``n_disks`` HDDs."""
+    if n_disks < 1:
+        raise ValueError("a node needs at least one disk")
+    return NodeSpec(
+        name=name, cores=8, ram_bytes=12 * GB, disks=(disk,) * n_disks
+    )
+
+
+def storage_node(name: str, n_disks: int = 2, disk: DiskSpec = HDD_1TB) -> NodeSpec:
+    """A storage node: 8 cores, 24 GB RAM, ``n_disks`` 1 TB HDDs."""
+    if n_disks < 1:
+        raise ValueError("a node needs at least one disk")
+    return NodeSpec(
+        name=name, cores=8, ram_bytes=24 * GB, disks=(disk,) * n_disks
+    )
+
+
+def ssd_node(name: str, n_disks: int = 1) -> NodeSpec:
+    """A storage node using a SATA SSD as the HDFS/intermediate data store."""
+    return NodeSpec(
+        name=name, cores=8, ram_bytes=24 * GB, disks=(SSD_SATA,) * n_disks
+    )
+
+
+def westmere_cluster(
+    n_nodes: int,
+    n_disks: int = 1,
+    node_kind: str = "compute",
+) -> list[NodeSpec]:
+    """Node specs for an ``n_nodes`` cluster of the given kind.
+
+    ``node_kind``: ``"compute"`` (12 GB, 160 GB HDDs), ``"storage"``
+    (24 GB, 1 TB HDDs), or ``"ssd"`` (24 GB, SATA SSDs).
+    """
+    if n_nodes < 1:
+        raise ValueError("cluster needs at least one node")
+    makers = {"compute": westmere_node, "storage": storage_node, "ssd": ssd_node}
+    maker = makers.get(node_kind)
+    if maker is None:
+        raise KeyError(f"unknown node_kind {node_kind!r}; known: {sorted(makers)}")
+    return [maker(f"node{i:02d}", n_disks=n_disks) for i in range(n_nodes)]

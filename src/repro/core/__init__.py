@@ -1,0 +1,53 @@
+"""The paper's primary contribution, as executable algorithms.
+
+This package holds the data structures and protocols the paper introduces,
+implemented to run on real key-value records (the functional engine in
+:mod:`repro.engine` uses them to sort actual bytes) *and* to be planned
+analytically (the discrete-event simulator uses the same classes to model
+100 GB runs without materialising data):
+
+* :mod:`repro.core.packets` — shuffle packetisation policies: the OSU-IB
+  size-aware packetiser ("considers the size of the key-value pair before
+  the transfer", §IV-C), Hadoop-A's fixed pairs-per-packet, and the vanilla
+  whole-file response.
+* :mod:`repro.core.merge` — the priority-queue streaming merge feeding a
+  ``DataToReduceQueue`` (§III-B.2), with the paper's refill protocol:
+  extraction halts for a run exactly when its buffered pairs run out.
+* :mod:`repro.core.cache` — the ``PrefetchCache`` with demand-priority
+  promotion and heap-bounded capacity (§III-B.3).
+* :mod:`repro.core.protocol` — the request/response control messages
+  carrying map id / reduce id / job id / pair counts (§III-B.1).
+"""
+
+from repro.core.cache import CacheStats, PrefetchCache
+from repro.core.merge import DataToReduceQueue, KWayMerger, MergeError
+from repro.core.packets import (
+    FixedPairsPacketizer,
+    PacketPlan,
+    Packetizer,
+    SizeAwarePacketizer,
+    WholeFilePacketizer,
+)
+from repro.core.protocol import (
+    ConnectRequest,
+    DataRequest,
+    DataResponse,
+    MapOutputMeta,
+)
+
+__all__ = [
+    "CacheStats",
+    "ConnectRequest",
+    "DataRequest",
+    "DataResponse",
+    "DataToReduceQueue",
+    "FixedPairsPacketizer",
+    "KWayMerger",
+    "MapOutputMeta",
+    "MergeError",
+    "PacketPlan",
+    "Packetizer",
+    "PrefetchCache",
+    "SizeAwarePacketizer",
+    "WholeFilePacketizer",
+]

@@ -1,0 +1,213 @@
+"""The TaskTracker-side PrefetchCache (§III-B.3).
+
+Semantics from the paper:
+
+* ``MapOutputPrefetcher`` daemons insert freshly-finished map outputs
+  ("caches intermediate map output as soon as it gets available");
+* capacity is heap-bounded ("Depending on heap size availability it can
+  limit the amount of data to be cached");
+* it "can also prioritize which data to cache more frequently based on the
+  demand from the ReduceTasks": a miss records demand so that the
+  subsequent insert of that segment carries elevated priority ("after disk
+  fetch, it requests MapOutputPrefetcher to cache this particular map
+  output data with more priority");
+* eviction removes the least valuable resident first: lowest priority,
+  least-recently-used among equals.
+
+The cache stores *segments* (one map output partition for one reducer, or
+a whole map output — the caller picks the granularity) identified by a
+hashable id; contents may be real record lists (functional engine) or just
+byte sizes (simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "PrefetchCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed to the experiment harness."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    rejected: int = 0  # insert didn't fit even after evicting everything eligible
+    evictions: int = 0
+    bytes_hit: float = 0.0
+    bytes_missed: float = 0.0
+    promotions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+
+@dataclass
+class _Entry:
+    seg_id: Hashable
+    nbytes: float
+    priority: float
+    last_access: int
+    payload: Any = None
+    pinned: int = 0
+
+
+class PrefetchCache:
+    """Byte-bounded segment cache with demand-priority promotion."""
+
+    #: Priority boost applied when a reducer demanded a segment we missed.
+    DEMAND_BOOST = 10.0
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity = float(capacity_bytes)
+        self._entries: dict[Hashable, _Entry] = {}
+        self._used = 0.0
+        self._clock = 0
+        #: Demand recorded by misses: seg_id -> requested priority.
+        self._wanted: dict[Hashable, float] = {}
+        self.stats = CacheStats()
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity - self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, seg_id: Hashable) -> bool:
+        return seg_id in self._entries
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(
+        self,
+        seg_id: Hashable,
+        nbytes: float,
+        priority: float = 0.0,
+        payload: Any = None,
+    ) -> bool:
+        """Cache a segment, evicting lower-value residents to make room.
+
+        Demand recorded by earlier misses raises the effective priority
+        (the paper's "cache this particular map output data with more
+        priority").  Returns False when the segment cannot fit (larger
+        than capacity, or every resident outranks it).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative segment size {nbytes}")
+        demanded = self._wanted.pop(seg_id, None)
+        if demanded is not None:
+            priority = max(priority, demanded)
+            self.stats.promotions += 1
+        existing = self._entries.get(seg_id)
+        if existing is not None:
+            # Refresh priority/recency; size of a segment is immutable.
+            existing.priority = max(existing.priority, priority)
+            self._clock += 1
+            existing.last_access = self._clock
+            return True
+        if nbytes > self.capacity:
+            self.stats.rejected += 1
+            return False
+        if not self._make_room(nbytes, priority):
+            self.stats.rejected += 1
+            return False
+        self._clock += 1
+        self._entries[seg_id] = _Entry(seg_id, nbytes, priority, self._clock, payload)
+        self._used += nbytes
+        self.stats.inserts += 1
+        return True
+
+    def lookup(self, seg_id: Hashable, nbytes_hint: float = 0.0) -> Any | None:
+        """Fetch a segment.  A miss records demand for priority promotion.
+
+        Returns the payload (which may be ``None``-like for size-only use;
+        use :meth:`hit` when only the boolean matters).
+        """
+        entry = self._entries.get(seg_id)
+        self._clock += 1
+        if entry is None:
+            self.stats.misses += 1
+            self.stats.bytes_missed += nbytes_hint
+            prev = self._wanted.get(seg_id, 0.0)
+            self._wanted[seg_id] = max(prev, self.DEMAND_BOOST)
+            return None
+        entry.last_access = self._clock
+        self.stats.hits += 1
+        self.stats.bytes_hit += entry.nbytes
+        return entry.payload if entry.payload is not None else True
+
+    def hit(self, seg_id: Hashable, nbytes_hint: float = 0.0) -> bool:
+        """Boolean-only lookup (simulator use)."""
+        return self.lookup(seg_id, nbytes_hint) is not None
+
+    def pin(self, seg_id: Hashable) -> None:
+        """Protect a segment from eviction while a responder streams it."""
+        entry = self._entries.get(seg_id)
+        if entry is not None:
+            entry.pinned += 1
+
+    def unpin(self, seg_id: Hashable) -> None:
+        entry = self._entries.get(seg_id)
+        if entry is not None and entry.pinned > 0:
+            entry.pinned -= 1
+
+    def evict(self, seg_id: Hashable) -> bool:
+        """Explicitly drop a segment (e.g. after its only consumer fetched it)."""
+        entry = self._entries.pop(seg_id, None)
+        if entry is None:
+            return False
+        self._used -= entry.nbytes
+        self.stats.evictions += 1
+        return True
+
+    def demand(self, seg_id: Hashable, priority: float | None = None) -> None:
+        """Record reducer demand without a lookup (advance notice)."""
+        level = self.DEMAND_BOOST if priority is None else priority
+        self._wanted[seg_id] = max(self._wanted.get(seg_id, 0.0), level)
+
+    # -- internals ----------------------------------------------------------
+
+    def _make_room(self, nbytes: float, incoming_priority: float) -> bool:
+        """Evict victims worth less than the incoming segment until it fits."""
+        if self._used + nbytes <= self.capacity:
+            return True
+        # Victims: unpinned entries strictly below the incoming priority,
+        # or equal priority but older (so fresh map outputs displace stale
+        # never-fetched ones).
+        victims = sorted(
+            (e for e in self._entries.values() if e.pinned == 0),
+            key=lambda e: (e.priority, e.last_access),
+        )
+        freed = 0.0
+        chosen: list[_Entry] = []
+        for victim in victims:
+            if victim.priority > incoming_priority:
+                break
+            chosen.append(victim)
+            freed += victim.nbytes
+            if self._used - freed + nbytes <= self.capacity:
+                break
+        if self._used - freed + nbytes > self.capacity:
+            return False
+        for victim in chosen:
+            del self._entries[victim.seg_id]
+            self._used -= victim.nbytes
+            self.stats.evictions += 1
+        return True

@@ -1,0 +1,94 @@
+"""Shuffle control messages (§III-B.1).
+
+*"For successful and reliable transmission of data, each request and
+response messages consist of various identification and control parameters
+such as map id, reduce id, job id, number of key value pairs sent etc."*
+
+These dataclasses are the wire contract between the ReduceTask-side
+copiers and the TaskTracker-side responders in both the functional engine
+and the simulator.  ``serialized_size`` feeds the transport models so that
+control traffic is accounted, tiny as it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConnectRequest", "DataRequest", "DataResponse", "MapOutputMeta"]
+
+
+@dataclass(frozen=True)
+class ConnectRequest:
+    """RDMACopier -> RDMAListener: endpoint information for a new connection."""
+
+    job_id: str
+    reduce_id: int
+    endpoint: str  # "host:index" identifying the reducer-side endpoint
+
+    def serialized_size(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class DataRequest:
+    """RDMACopier -> RDMAReceiver: ask for the next pairs of one segment."""
+
+    job_id: str
+    map_id: int
+    reduce_id: int
+    #: Byte offset already received (resume point within the segment).
+    offset: float
+    #: Upper bound the requester will accept in this response.
+    max_bytes: float
+    #: Sequence number of this request on the connection.
+    seqno: int = 0
+
+    def serialized_size(self) -> int:
+        return 96
+
+
+@dataclass(frozen=True)
+class DataResponse:
+    """RDMAResponder -> RDMACopier: header describing the data that follows."""
+
+    job_id: str
+    map_id: int
+    reduce_id: int
+    #: Pairs contained in this response.
+    n_pairs: int
+    #: Payload bytes that follow this header.
+    nbytes: float
+    #: True when the segment is fully delivered.
+    eof: bool
+    #: Whether the bytes came from the PrefetchCache or from disk.
+    from_cache: bool = False
+
+    def serialized_size(self) -> int:
+        return 96
+
+
+@dataclass(frozen=True)
+class MapOutputMeta:
+    """Published by a TaskTracker when a map completes: per-reducer sizes.
+
+    The Map Completion Fetcher inside each ReduceTask consumes these to
+    know what to request.
+    """
+
+    job_id: str
+    map_id: int
+    host: str
+    #: partition -> (bytes, pairs)
+    partitions: tuple[tuple[float, int], ...]
+
+    def segment(self, reduce_id: int) -> tuple[float, int]:
+        """(bytes, pairs) destined for ``reduce_id``."""
+        return self.partitions[reduce_id]
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(b for b, _ in self.partitions)
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(p for _, p in self.partitions)

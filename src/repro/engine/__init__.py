@@ -1,0 +1,27 @@
+"""Functional (data-bearing) MapReduce engine.
+
+Executes real map/sort/shuffle/merge/reduce on actual records in-process,
+using the *same* core algorithm implementations the performance simulator
+models — :class:`~repro.core.packets.SizeAwarePacketizer` (and friends)
+for shuffle packetisation, :class:`~repro.core.merge.KWayMerger` with the
+paper's refill protocol for the reduce-side merge, and
+:class:`~repro.core.cache.PrefetchCache` on the serving side.
+
+This is the correctness half of the reproduction: TeraSort output
+validates with :func:`repro.workloads.teragen.teravalidate`, and the
+engine's counters (packets, cache hits, spills) are asserted against the
+analytic plans in the test suite.
+"""
+
+from repro.engine.api import EngineConfig, JobOutput, LocalJobRunner, identity_mapper, identity_reducer
+from repro.engine.partition import HashPartitioner, RangePartitioner
+
+__all__ = [
+    "EngineConfig",
+    "HashPartitioner",
+    "JobOutput",
+    "LocalJobRunner",
+    "RangePartitioner",
+    "identity_mapper",
+    "identity_reducer",
+]

@@ -1,0 +1,65 @@
+"""Partitioners: hash (Hadoop default) and sampled range (TeraSort).
+
+TeraSort's global ordering comes from its ``TotalOrderPartitioner``: the
+input is sampled, split points are chosen so each reducer receives a
+contiguous, roughly equal key range, and the concatenation of reducer
+outputs is globally sorted.  :class:`RangePartitioner` reproduces that.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["HashPartitioner", "RangePartitioner"]
+
+
+class HashPartitioner:
+    """Hadoop's default: ``hash(key) mod n_reducers`` (stable across runs)."""
+
+    def __init__(self, n_reducers: int):
+        if n_reducers < 1:
+            raise ValueError("need at least one reducer")
+        self.n_reducers = n_reducers
+
+    def partition(self, key: Any) -> int:
+        data = key if isinstance(key, (bytes, bytearray)) else repr(key).encode()
+        return zlib.crc32(bytes(data)) % self.n_reducers
+
+
+class RangePartitioner:
+    """TeraSort's sampled total-order partitioner.
+
+    Build with :meth:`from_sample`; keys below the first split point go to
+    reducer 0, and so on.  Reducer outputs concatenated in index order are
+    globally sorted.
+    """
+
+    def __init__(self, split_points: Sequence[Any]):
+        self.split_points = list(split_points)
+        self.n_reducers = len(self.split_points) + 1
+
+    @classmethod
+    def from_sample(cls, keys: Sequence[Any], n_reducers: int) -> "RangePartitioner":
+        """Choose ``n_reducers - 1`` split points from sampled keys."""
+        if n_reducers < 1:
+            raise ValueError("need at least one reducer")
+        if n_reducers == 1 or not keys:
+            return cls([])
+        ordered = sorted(keys)
+        points = []
+        for i in range(1, n_reducers):
+            points.append(ordered[min(len(ordered) - 1, i * len(ordered) // n_reducers)])
+        # De-duplicate while preserving order (tiny samples may repeat).
+        unique: list[Any] = []
+        for p in points:
+            if not unique or p > unique[-1]:
+                unique.append(p)
+        partitioner = cls(unique)
+        partitioner.n_reducers = n_reducers  # keep reducer count stable
+        return partitioner
+
+    def partition(self, key: Any) -> int:
+        return min(bisect.bisect_right(self.split_points, key), self.n_reducers - 1)

@@ -1,0 +1,34 @@
+"""Experiment harness: one runner per table/figure in the paper (§IV).
+
+Each ``fig*`` function in :mod:`repro.experiments.figures` regenerates the
+corresponding figure's data series and returns a :class:`~repro.
+experiments.report.FigureResult`; ``python -m repro.experiments.run``
+drives them from the command line and renders the paper-vs-measured
+tables recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig4a,
+    fig4b,
+    fig5,
+    fig6a,
+    fig6b,
+    fig7,
+    fig8,
+)
+from repro.experiments.report import FigureResult, Series, improvement
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "Series",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "improvement",
+]

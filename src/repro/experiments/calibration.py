@@ -1,0 +1,108 @@
+"""Calibration constants: every physical number in the model, with provenance.
+
+The model separates three layers of constants:
+
+1. **Transport physics** (:mod:`repro.network.transports`) — line rates,
+   effective stream throughput, latency, per-byte host-CPU cost, framing.
+2. **Storage physics** (:mod:`repro.storage.disk`) — sequential bandwidth,
+   seek/stream-switch penalty, per-request overhead.
+3. **Framework costs** (:mod:`repro.mapreduce.costs`) — per-byte CPU for
+   map/sort/merge/reduce, task startup, heartbeat delays, heap sizes.
+
+The table below records where each default comes from.  None of these
+constants differ *between the compared designs* — the engines differ only
+in structure (what is fetched when, what touches disk, what overlaps), so
+calibration sets the absolute scale while the structural models produce
+the relative results.
+
+=========================== ============= =======================================
+Constant                    Value         Provenance
+=========================== ============= =======================================
+1GigE eff. stream bw        112 MB/s      TCP on GigE practical ceiling
+10GigE (TOE) eff. stream    1150 MB/s     Chelsio T320 era measurements
+IPoIB (QDR, CM) eff. stream 1250 MB/s     ~10 Gb/s: OSU IPoIB-CM microbenchmarks
+                                          (same group's HDFS/Memcached papers)
+IB verbs eff. stream        3200 MB/s     ~25.6 Gb/s QDR payload rate
+verbs latency               2.2 us        ConnectX QDR small-message RTT/2
+socket latencies            13-50 us      kernel TCP stacks of the era
+socket CPU / byte           2.0-5.0 ns    1 core per ~0.2-0.5 GB/s: socket copy +
+                                          Java stream + IFile CRC path
+verbs CPU / byte            0             OS-bypass; HCA moves the bytes
+HDD (160 GB) seq r/w        110/95 MB/s   7.2k SATA drives of 2010-2012
+HDD (1 TB) seq r/w          135/125 MB/s  storage-node drives
+SSD (SATA) seq r/w          480/330 MB/s  2012 SATA-3 SSDs
+HDD stream-switch seek      8.0-8.5 ms    avg seek + half rotation
+SSD access                  0.08 ms       flash translation layer latency
+map CPU / byte              5 ns          ~200 MB/s/core incl. parse+collect
+sort CPU / byte             8 ns          ~1 s per 100 MB io.sort.mb buffer
+merge CPU / byte            2.5 ns        heap op per record, streaming
+reduce CPU / byte           4 ns          identity reduce + serialization
+task startup                1.2 s         0.20.2 JVM launch (no reuse)
+map completion notify       2 s           TT heartbeat + reducer event poll
+task heap                   1 GB          era-typical sort tuning
+fresh prefetch copy rate    4 GB/s        page-cache -> heap memcpy
+=========================== ============= =======================================
+
+Known, deliberate deviations from the testbed (documented in
+EXPERIMENTS.md): JVM garbage collection and framework pathologies of
+Hadoop 0.20.2 under memory pressure are *not* modelled; they slowed the
+paper's socket baselines substantially beyond what disk+network+CPU
+physics predict, so our vanilla baselines are relatively faster and the
+OSU-IB improvement percentages land below the paper's on some points
+while preserving every ordering and trend.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.costs import DEFAULT_COSTS, CostModel
+from repro.network.transports import GIGE, IB_VERBS, IPOIB, TENGIGE_TOE
+from repro.storage.disk import HDD_1TB, HDD_160GB, SSD_SATA
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "CostModel",
+    "GIGE",
+    "HDD_160GB",
+    "HDD_1TB",
+    "IB_VERBS",
+    "IPOIB",
+    "SSD_SATA",
+    "TENGIGE_TOE",
+    "paper_expectations",
+]
+
+
+def paper_expectations() -> dict[str, dict[str, float]]:
+    """The improvement percentages the paper reports, per experiment.
+
+    Keys are ``figure -> claim``; values are fractional improvements of
+    OSU-IB's job execution time over the named baseline (positive means
+    OSU-IB is faster).  Used by the report generator and the trend tests.
+    """
+    return {
+        "fig4a": {
+            "30GB_1disk_vs_hadoopa": 0.09,
+            "30GB_1disk_vs_ipoib": 0.35,
+            "30GB_1disk_vs_10gige": 0.38,
+            "30GB_2disk_vs_hadoopa": 0.13,
+            "30GB_2disk_vs_ipoib": 0.38,
+            "30GB_2disk_vs_10gige": 0.43,
+            "40GB_2disk_vs_hadoopa": 0.17,
+            "40GB_2disk_vs_ipoib": 0.48,
+            "40GB_2disk_vs_10gige": 0.51,
+        },
+        "fig4b": {
+            "100GB_1disk_vs_hadoopa": 0.21,
+            "100GB_1disk_vs_ipoib": 0.32,
+            "100GB_2disk_vs_hadoopa": 0.31,
+            "100GB_2disk_vs_ipoib": 0.39,
+        },
+        "fig5": {
+            "100GB_12nodes_vs_hadoopa": 0.07,
+            "100GB_12nodes_vs_ipoib": 0.41,
+        },
+        "fig6a": {"20GB_vs_hadoopa": 0.38, "20GB_vs_ipoib": 0.26},
+        "fig6b": {"40GB_vs_hadoopa": 0.32, "40GB_vs_ipoib": 0.27},
+        "fig7": {"15GB_vs_hadoopa": 0.22, "15GB_vs_ipoib": 0.46},
+        "fig8": {"20GB_caching_benefit": 0.1839},
+    }

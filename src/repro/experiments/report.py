@@ -1,0 +1,83 @@
+"""Result containers and table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapreduce.job import JobResult
+
+__all__ = ["FigureResult", "Series", "improvement", "render_table"]
+
+
+def improvement(ours: float, baseline: float) -> float:
+    """Fractional execution-time improvement of ``ours`` over ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - ours / baseline
+
+
+@dataclass
+class Series:
+    """One line/bar-group of a figure: a label and time per x-point."""
+
+    label: str
+    #: x (e.g. sort size in GB) -> job execution time (s)
+    points: dict[float, float] = field(default_factory=dict)
+    #: Full job results for drill-down.
+    results: dict[float, JobResult] = field(default_factory=dict)
+
+    def add(self, x: float, result: JobResult) -> None:
+        self.points[x] = result.execution_time
+        self.results[x] = result
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure."""
+
+    figure: str
+    title: str
+    xlabel: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"{self.figure}: no series {label!r}")
+
+    def improvement(self, x: float, ours: str, baseline: str) -> float:
+        """OSU-style improvement of series ``ours`` over ``baseline`` at x."""
+        return improvement(
+            self.series_by_label(ours).points[x],
+            self.series_by_label(baseline).points[x],
+        )
+
+    def xs(self) -> list[float]:
+        xs: set[float] = set()
+        for s in self.series:
+            xs.update(s.points)
+        return sorted(xs)
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+def render_table(fig: FigureResult) -> str:
+    """Text table in the same rows/series layout as the paper's figure."""
+    xs = fig.xs()
+    label_w = max((len(s.label) for s in fig.series), default=8) + 2
+    header = f"{fig.figure}: {fig.title}\n"
+    header += f"{'':{label_w}}" + "".join(f"{x:>12g}" for x in xs)
+    header += f"   <- {fig.xlabel}\n"
+    lines = [header]
+    for s in fig.series:
+        row = f"{s.label:{label_w}}"
+        for x in xs:
+            value = s.points.get(x)
+            row += f"{value:>12.1f}" if value is not None else f"{'-':>12}"
+        lines.append(row)
+    for note in fig.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,100 @@
+"""CLI: regenerate the paper's figures.
+
+Examples::
+
+    python -m repro.experiments.run --figure fig4a
+    python -m repro.experiments.run --all --scale 0.1
+    python -m repro.experiments.run --figure fig8 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import FigureResult
+
+
+def _claims(fig: FigureResult) -> list[str]:
+    """Headline improvement lines matching the paper's quoted numbers."""
+    out: list[str] = []
+
+    def claim(x: float, ours: str, base: str, paper: float) -> None:
+        try:
+            ours_v = fig.improvement(x, ours, base)
+        except KeyError:
+            return
+        out.append(
+            f"{fig.figure} @{x:g}GB: OSU-IB vs {base}: "
+            f"measured {ours_v:+.1%}, paper {paper:+.1%}"
+        )
+
+    if fig.figure == "fig4a":
+        claim(30, "OSU-IB (32Gbps)-1disk", "HadoopA-IB (32Gbps)-1disk", 0.09)
+        claim(30, "OSU-IB (32Gbps)-1disk", "IPoIB (32Gbps)-1disk", 0.35)
+        claim(30, "OSU-IB (32Gbps)-1disk", "10GigE-1disk", 0.38)
+        claim(30, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.13)
+        claim(40, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.17)
+        claim(40, "OSU-IB (32Gbps)-2disks", "IPoIB (32Gbps)-2disks", 0.48)
+    elif fig.figure == "fig4b":
+        claim(100, "OSU-IB (32Gbps)-1disk", "HadoopA-IB (32Gbps)-1disk", 0.21)
+        claim(100, "OSU-IB (32Gbps)-1disk", "IPoIB (32Gbps)-1disk", 0.32)
+        claim(100, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.31)
+        claim(100, "OSU-IB (32Gbps)-2disks", "IPoIB (32Gbps)-2disks", 0.39)
+    elif fig.figure == "fig5":
+        claim(100, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.07)
+        claim(100, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.41)
+    elif fig.figure == "fig6a":
+        claim(20, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.38)
+        claim(20, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.26)
+    elif fig.figure == "fig6b":
+        claim(40, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.32)
+        claim(40, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.27)
+    elif fig.figure == "fig7":
+        claim(15, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.22)
+        claim(15, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.46)
+    elif fig.figure == "fig8":
+        try:
+            v = fig.improvement(
+                20, "OSU-IB (With Caching Enabled)", "OSU-IB (Without Caching Enabled)"
+            )
+            out.append(
+                f"fig8 @20GB: caching on vs off: measured {v:+.1%}, paper +18.4%"
+            )
+        except KeyError:
+            pass
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=sorted(ALL_FIGURES), action="append")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, help="directory for .txt tables")
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_FIGURES) if args.all else (args.figure or [])
+    if not names:
+        parser.error("pick --figure ... or --all")
+
+    for name in names:
+        t0 = time.time()
+        fig = ALL_FIGURES[name](scale=args.scale, seed=args.seed)
+        table = fig.render()
+        claims = _claims(fig)
+        body = table + "\n" + "\n".join(claims) + "\n"
+        print(body)
+        print(f"[{name} done in {time.time() - t0:.1f}s wall]", file=sys.stderr)
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(body)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Parameter sensitivity analysis.
+
+§IV-C observes that "tuning of these parameters can also play a major
+role on achieving better performance".  This module quantifies that for
+the model: sweep one configuration or calibration knob across values,
+re-run a reference job per value, and report execution time plus the
+headline improvement against a fixed baseline run.
+
+Used by ``benchmarks/test_ablations.py`` and available directly::
+
+    from repro.experiments.sensitivity import sweep_jobconf
+    rows = sweep_jobconf("rdma_packet_bytes", [32<<10, 128<<10, 1<<20])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.presets import westmere_cluster
+from repro.mapreduce.driver import run_job
+from repro.mapreduce.job import JobConf, sort_job, terasort_job
+
+__all__ = ["SensitivityRow", "sweep_jobconf", "render_sweep"]
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One point of a sweep."""
+
+    parameter: str
+    value: Any
+    execution_time: float
+    #: Fractional change vs. the sweep's first (reference) value.
+    delta_vs_first: float
+
+
+def _reference_conf(
+    benchmark: str, engine: str, size_bytes: float, n_nodes: int
+) -> JobConf:
+    if benchmark == "terasort":
+        return terasort_job(size_bytes, n_nodes, engine)
+    if benchmark == "sort":
+        return sort_job(size_bytes, n_nodes, engine)
+    raise KeyError(f"unknown benchmark {benchmark!r}")
+
+
+def sweep_jobconf(
+    parameter: str,
+    values: list[Any],
+    benchmark: str = "terasort",
+    engine: str = "rdma",
+    size_bytes: float = 6 * GB,
+    n_nodes: int = 4,
+    n_disks: int = 1,
+    node_kind: str = "compute",
+    fabric: str = "ipoib",
+    seed: int = 0,
+) -> list[SensitivityRow]:
+    """Sweep one :class:`JobConf` field; returns a row per value."""
+    if not values:
+        raise ValueError("need at least one value to sweep")
+    rows: list[SensitivityRow] = []
+    first_time: float | None = None
+    for value in values:
+        conf = _reference_conf(benchmark, engine, size_bytes, n_nodes)
+        conf = conf.scaled(**{parameter: value})
+        result = run_job(
+            westmere_cluster(n_nodes, n_disks=n_disks, node_kind=node_kind),
+            fabric,
+            conf,
+            seed=seed,
+        )
+        if first_time is None:
+            first_time = result.execution_time
+        rows.append(
+            SensitivityRow(
+                parameter=parameter,
+                value=value,
+                execution_time=result.execution_time,
+                delta_vs_first=result.execution_time / first_time - 1.0,
+            )
+        )
+    return rows
+
+
+def render_sweep(rows: list[SensitivityRow]) -> str:
+    """Text table of a sweep."""
+    if not rows:
+        return "(empty sweep)\n"
+    lines = [f"sensitivity: {rows[0].parameter}"]
+    for row in rows:
+        lines.append(
+            f"  {row.value!s:>16} -> {row.execution_time:8.1f}s "
+            f"({row.delta_vs_first:+.1%} vs first)"
+        )
+    return "\n".join(lines) + "\n"

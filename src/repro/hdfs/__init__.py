@@ -1,0 +1,13 @@
+"""HDFS substrate: NameNode block map, DataNodes, and the client I/O paths.
+
+Scope: what the MapReduce experiments exercise — block placement with
+locality, local short-circuit reads, remote reads, and the replicated
+write pipeline.  Fault handling and re-replication are out of scope (the
+paper disables failure scenarios; recovery is listed as future work).
+"""
+
+from repro.hdfs.block import Block
+from repro.hdfs.client import DFSClient
+from repro.hdfs.namenode import NameNode
+
+__all__ = ["Block", "DFSClient", "NameNode"]

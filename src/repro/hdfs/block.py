@@ -1,0 +1,25 @@
+"""HDFS block metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Block"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block of a file."""
+
+    file_name: str
+    index: int
+    nbytes: float
+    #: Node names holding a replica; the first is the primary.
+    locations: tuple[str, ...]
+
+    @property
+    def block_id(self) -> str:
+        return f"{self.file_name}#{self.index}"
+
+    def is_local_to(self, node_name: str) -> bool:
+        return node_name in self.locations

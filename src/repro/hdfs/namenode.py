@@ -1,0 +1,112 @@
+"""The NameNode: file namespace and block placement.
+
+Placement follows HDFS's default policy shape: the first replica lands on
+the writer's node (or round-robin for externally-loaded data), subsequent
+replicas on distinct randomly-chosen nodes.  Randomness comes from the
+cluster's deterministic stream family so placements reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.hdfs.block import Block
+
+__all__ = ["NameNode"]
+
+
+class NameNode:
+    """Namespace + placement for one simulated HDFS instance."""
+
+    def __init__(self, datanode_names: Sequence[str], rng: np.random.Generator):
+        if not datanode_names:
+            raise ValueError("HDFS needs at least one DataNode")
+        self.datanodes = list(datanode_names)
+        self.rng = rng
+        self._files: dict[str, list[Block]] = {}
+        self._rr = 0
+
+    # -- namespace ------------------------------------------------------
+
+    def exists(self, file_name: str) -> bool:
+        return file_name in self._files
+
+    def blocks_of(self, file_name: str) -> list[Block]:
+        blocks = self._files.get(file_name)
+        if blocks is None:
+            raise FileNotFoundError(f"HDFS: no file {file_name!r}")
+        return list(blocks)
+
+    def file_size(self, file_name: str) -> float:
+        return sum(b.nbytes for b in self.blocks_of(file_name))
+
+    def delete(self, file_name: str) -> None:
+        self._files.pop(file_name, None)
+
+    # -- placement ------------------------------------------------------
+
+    def _pick_locations(self, preferred: str | None, replication: int) -> tuple[str, ...]:
+        replication = min(replication, len(self.datanodes))
+        if preferred is not None and preferred in self.datanodes:
+            first = preferred
+        else:
+            first = self.datanodes[self._rr % len(self.datanodes)]
+            self._rr += 1
+        locations = [first]
+        if replication > 1:
+            others = [d for d in self.datanodes if d != first]
+            picks = self.rng.choice(len(others), size=replication - 1, replace=False)
+            locations.extend(others[i] for i in picks)
+        return tuple(locations)
+
+    def allocate_file(
+        self,
+        file_name: str,
+        total_bytes: float,
+        block_bytes: float,
+        replication: int = 3,
+        writer: str | None = None,
+    ) -> list[Block]:
+        """Create a file's block list (placement only; no I/O simulated).
+
+        ``writer=None`` means externally-loaded data (TeraGen ran earlier):
+        primaries rotate across DataNodes, giving the balanced layout a
+        freshly-generated benchmark input has.
+        """
+        if file_name in self._files:
+            raise FileExistsError(f"HDFS: {file_name!r} already exists")
+        if total_bytes < 0 or block_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        blocks: list[Block] = []
+        remaining = float(total_bytes)
+        index = 0
+        while remaining > 0:
+            size = min(block_bytes, remaining)
+            blocks.append(
+                Block(
+                    file_name=file_name,
+                    index=index,
+                    nbytes=size,
+                    locations=self._pick_locations(writer, replication),
+                )
+            )
+            remaining -= size
+            index += 1
+        self._files[file_name] = blocks
+        return list(blocks)
+
+    def add_block(
+        self, file_name: str, nbytes: float, replication: int, writer: str | None
+    ) -> Block:
+        """Append one block to an (existing or new) file — the write path."""
+        blocks = self._files.setdefault(file_name, [])
+        block = Block(
+            file_name=file_name,
+            index=len(blocks),
+            nbytes=nbytes,
+            locations=self._pick_locations(writer, replication),
+        )
+        blocks.append(block)
+        return block

@@ -1,0 +1,31 @@
+"""Hadoop 0.20.2 MapReduce framework model.
+
+Actors mirror the paper's Figure 1/2 architecture: a JobTracker farms map
+and reduce tasks out to per-node TaskTrackers with fixed slot counts; map
+tasks read HDFS splits, sort/spill, and publish per-reducer map-output
+segments; reduce tasks shuffle, merge, and reduce through one of three
+pluggable shuffle engines:
+
+* ``"http"`` — vanilla Hadoop: HTTP servlets + copiers + in-memory/local-FS
+  mergers, reduce barrier after merge (Figure 2 left, Figure 3 top).
+* ``"hadoopa"`` — Hadoop-A (SC'11): verbs transport, network-levitated
+  merge, fixed pairs-per-packet, per-fetch disk reads at the TaskTracker.
+* ``"rdma"`` — OSU-IB (this paper): UCR/verbs shuffle with RDMAListener/
+  Receiver/Responder + DataRequestQueue, size-aware packetized streaming
+  into a priority-queue merge, prefetched/cached map outputs, and full
+  shuffle/merge/reduce pipelining (Figure 2 right, Figure 3 bottom).
+"""
+
+from repro.mapreduce.costs import DEFAULT_COSTS, CostModel
+from repro.mapreduce.driver import run_job
+from repro.mapreduce.job import JobConf, JobResult, sort_job, terasort_job
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "JobConf",
+    "JobResult",
+    "run_job",
+    "sort_job",
+    "terasort_job",
+]

@@ -1,0 +1,133 @@
+"""Shared per-job runtime state.
+
+The :class:`JobContext` wires together the cluster, HDFS, the UCR runtime
+(for the verbs-based engines), the map-completion event board, and the job
+counters.  All actors (JobTracker, TaskTrackers, tasks, shuffle engines)
+receive the same context.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.builder import Cluster
+from repro.core.protocol import MapOutputMeta
+from repro.hdfs.client import DFSClient
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.job import JobConf
+from repro.network.transports import IB_VERBS
+from repro.sim.monitor import Counter
+from repro.sim.resources import Store
+from repro.ucr.runtime import UCRRuntime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.tasktracker import TaskTracker
+
+__all__ = ["CompletionBoard", "JobContext"]
+
+
+class CompletionBoard:
+    """Publishes map-completion events to subscribed reducers.
+
+    Matches the 0.20.2 mechanism: completions reach reducers via the
+    TaskTracker heartbeat + the reducer's event poll, i.e. after a delay
+    (``costs.map_completion_notify``).  Subscribers that join late receive
+    all previously-published events immediately (they would have polled
+    the backlog).
+    """
+
+    def __init__(self, ctx: "JobContext"):
+        self.ctx = ctx
+        self._published: list[MapOutputMeta] = []
+        self._subscribers: list[Store] = []
+
+    def publish(self, meta: MapOutputMeta) -> None:
+        delay = self.ctx.conf.costs.map_completion_notify
+        self.ctx.sim.process(self._deliver(meta, delay), name=f"notify:m{meta.map_id}")
+
+    def _deliver(self, meta: MapOutputMeta, delay: float):
+        yield self.ctx.sim.timeout(delay)
+        self._published.append(meta)
+        for inbox in self._subscribers:
+            inbox.put(meta)
+
+    def subscribe(self) -> Store:
+        inbox = Store(self.ctx.sim, name="map-events")
+        for meta in self._published:
+            inbox.put(meta)
+        self._subscribers.append(inbox)
+        return inbox
+
+    @property
+    def published_count(self) -> int:
+        return len(self._published)
+
+
+class JobContext:
+    """Everything one job run shares across its actors."""
+
+    def __init__(self, cluster: Cluster, conf: JobConf):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.conf = conf
+        self.rng = cluster.rng
+        self.namenode = NameNode(
+            [n.name for n in cluster.nodes], cluster.rng.stream("hdfs-placement")
+        )
+        self.dfs = DFSClient(cluster, self.namenode)
+        #: UCR runtime for the verbs engines ("hadoopa", "rdma"); they run
+        #: native IB verbs regardless of what transport vanilla traffic uses
+        #: (in the paper they are only ever run on the IB cluster).
+        self.ucr = UCRRuntime(self.sim, cluster.fabric.flows, IB_VERBS)
+        self.counters = Counter()
+        self.board = CompletionBoard(self)
+        self.trackers: dict[str, "TaskTracker"] = {}
+        #: map_id -> MapOutputMeta, filled as maps complete.
+        self.map_outputs: dict[int, MapOutputMeta] = {}
+        self.completed_maps = 0
+        self.first_map_start: float | None = None
+        self.last_map_end: float = 0.0
+        #: Task attempt spans for timeline tooling (repro.tools.timeline).
+        self.spans: list[Any] = []
+
+    # -- helpers used throughout the actors --------------------------------
+
+    @property
+    def n_maps(self) -> int:
+        return self.conf.n_maps
+
+    def jitter(self, stream: str) -> float:
+        """A deterministic per-task multiplicative jitter factor."""
+        j = self.conf.costs.cpu_jitter
+        if j <= 0:
+            return 1.0
+        return float(1.0 + self.rng.stream(stream).uniform(-j, j))
+
+    def segment_of(self, meta: MapOutputMeta, reduce_id: int) -> tuple[float, int]:
+        """(bytes, pairs) of the segment a reducer fetches from one map."""
+        return meta.segment(reduce_id)
+
+    def record_map_completion(self, meta: MapOutputMeta) -> None:
+        self.map_outputs[meta.map_id] = meta
+        self.completed_maps += 1
+        self.last_map_end = self.sim.now
+        self.board.publish(meta)
+
+    # -- memory sizing ---------------------------------------------------------
+
+    def shuffle_buffer_bytes(self) -> float:
+        """Reduce-side shuffle memory (heap * input buffer percent)."""
+        return self.conf.costs.task_heap_bytes * self.conf.shuffle_input_buffer_percent
+
+    def cache_capacity_bytes(self, node: Any) -> float:
+        """PrefetchCache capacity on one node: free RAM after task heaps.
+
+        §III-B.3: "Depending on heap size availability it can limit the
+        amount of data to be cached" — the 24 GB storage nodes end up with
+        a much larger cache than the 12 GB compute nodes, which is the
+        mechanism behind Figure 5's commentary.
+        """
+        heaps = (self.conf.map_slots + self.conf.reduce_slots) * (
+            self.conf.costs.task_heap_bytes
+        )
+        return max(0.0, node.usable_ram_bytes - heaps)

@@ -1,0 +1,40 @@
+"""Top-level entry point: run one job on a freshly-built cluster."""
+
+from __future__ import annotations
+
+from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.node import NodeSpec
+from repro.mapreduce.context import JobContext
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.jobtracker import JobTracker
+from repro.network.transports import TransportSpec
+
+__all__ = ["run_job", "run_job_on"]
+
+
+def run_job_on(cluster: Cluster, conf: JobConf) -> JobResult:
+    """Execute ``conf`` on an existing (unused) cluster."""
+    ctx = JobContext(cluster, conf)
+    tracker = JobTracker(ctx)
+    done = cluster.sim.process(tracker.run(), name="jobtracker")
+    result: JobResult = cluster.sim.run(done)
+    return result
+
+
+def run_job(
+    node_specs: list[NodeSpec],
+    transport: TransportSpec | str,
+    conf: JobConf,
+    chunk_bytes: int = 4 * 1024 * 1024,
+    seed: int = 0,
+) -> JobResult:
+    """Build a cluster and run one job (the common experiment path).
+
+    ``transport`` is the cluster fabric's socket transport — what vanilla
+    shuffle, HDFS remote traffic, and control messages ride on.  The
+    ``hadoopa``/``rdma`` engines additionally carry their shuffle over IB
+    verbs via UCR on the same physical links (so pick ``IPoIB`` as the
+    fabric when running them, as the testbed does).
+    """
+    cluster = build_cluster(node_specs, transport, chunk_bytes=chunk_bytes, seed=seed)
+    return run_job_on(cluster, conf)

@@ -1,0 +1,203 @@
+"""Job configuration and results.
+
+:class:`JobConf` carries the Hadoop configuration surface the paper
+exercises: the 0.20.2 buffer/merge knobs, the paper's tuned block sizes
+and slot counts, plus the OSU-IB configuration parameters the paper calls
+out in §III-C.3 (``mapred.rdma.enabled``, RDMA packet size,
+``mapred.local.caching.enabled``, pairs per packet, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.mapreduce.costs import DEFAULT_COSTS, CostModel
+from repro.workloads.records import RecordModel
+from repro.workloads.randomwriter import RANDOMWRITER_RECORDS
+from repro.workloads.teragen import TERASORT_RECORDS
+
+__all__ = ["JobConf", "JobResult", "sort_job", "terasort_job"]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * MB
+
+SHUFFLE_ENGINES = ("http", "hadoopa", "rdma")
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Everything a job run needs besides the cluster itself."""
+
+    job_id: str
+    benchmark: str  # "terasort" | "sort" (labels the workload)
+    data_bytes: float
+    block_bytes: float
+    n_reduces: int
+    record_model: RecordModel
+    #: Shuffle engine: "http" (vanilla), "hadoopa", or "rdma" (OSU-IB).
+    #: "rdma" corresponds to mapred.rdma.enabled=true in the paper.
+    shuffle_engine: str = "http"
+
+    # -- slots & scheduling (paper §IV: 4 concurrent map and reduce tasks) --
+    map_slots: int = 4
+    reduce_slots: int = 4
+    reduce_slowstart: float = 0.05
+
+    # -- map side (0.20.2 defaults) -----------------------------------------
+    io_sort_mb: float = 100 * MB
+    io_sort_factor: int = 10
+    sort_spill_percent: float = 0.80
+    map_output_expansion: float = 1.0
+
+    # -- vanilla reduce side -------------------------------------------------
+    shuffle_input_buffer_percent: float = 0.70
+    shuffle_merge_percent: float = 0.66
+    max_single_shuffle_fraction: float = 0.25
+    parallel_copies: int = 5
+    http_server_threads: int = 40
+
+    # -- OSU-IB engine (§III-C.3 configuration interface) ---------------------
+    rdma_packet_bytes: int = 128 * KB
+    rdma_wave_bytes: int = 2 * MB  # fetch-batch ceiling (packets aggregated)
+    rdma_fetch_threads: int = 8
+    rdma_responder_threads: int = 8
+    #: mapred.local.caching.enabled
+    caching_enabled: bool = True
+    prefetch_threads: int = 2
+
+    # -- Hadoop-A engine -------------------------------------------------------
+    hadoopa_pairs_per_packet: int = 1310
+    hadoopa_fetch_threads: int = 4
+
+    # -- I/O & HDFS -------------------------------------------------------------
+    input_replication: int = 3
+    #: dfs.replication for job output.  Benchmark practice of the era sets
+    #: sort output replication to 1 (the TeraSort rules); replicated output
+    #: mostly adds identical disk/network load to every design, so the
+    #: comparisons are insensitive to it (see the ablation benchmark).
+    output_replication: int = 1
+    reduce_flush_bytes: float = 32 * MB
+
+    # -- speculative execution (disabled in the paper's tuned setup §IV) ----------
+    #: mapred.map.tasks.speculative.execution: launch a backup attempt for
+    #: map tasks running far beyond the completed-task median.
+    speculative_execution: bool = False
+    #: A running attempt is speculation-eligible beyond median * threshold.
+    speculative_threshold: float = 1.2
+
+    # -- fault tolerance (paper §VI future work: recovery on task failure) --------
+    #: Probability that a map task attempt fails partway through.
+    map_failure_rate: float = 0.0
+    #: Probability that a reduce task attempt fails partway through.
+    reduce_failure_rate: float = 0.0
+    #: Attempts before the job aborts (mapred.map.max.attempts).
+    max_task_attempts: int = 4
+    #: Probability that one shuffle fetch fails transiently and is retried.
+    fetch_failure_rate: float = 0.0
+    #: Back-off before a failed fetch is retried, seconds.
+    fetch_retry_delay: float = 5.0
+
+    # -- costs -------------------------------------------------------------------
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def __post_init__(self) -> None:
+        if self.shuffle_engine not in SHUFFLE_ENGINES:
+            raise ValueError(
+                f"unknown shuffle engine {self.shuffle_engine!r}; "
+                f"choose from {SHUFFLE_ENGINES}"
+            )
+        if self.data_bytes <= 0 or self.block_bytes <= 0:
+            raise ValueError("data_bytes and block_bytes must be positive")
+        if self.n_reduces < 1:
+            raise ValueError("need at least one reducer")
+
+    @property
+    def n_maps(self) -> int:
+        return max(1, int(-(-self.data_bytes // self.block_bytes)))
+
+    def scaled(self, **overrides: Any) -> "JobConf":
+        return replace(self, **overrides)
+
+
+def terasort_job(
+    data_bytes: float,
+    n_nodes: int,
+    shuffle_engine: str,
+    block_bytes: float | None = None,
+    **overrides: Any,
+) -> JobConf:
+    """The paper's TeraSort configuration (§IV-B).
+
+    Optimal block size was 256 MB for 10GigE/IPoIB/OSU-IB and 128 MB for
+    Hadoop-A; reducers fill all reduce slots (4 per node).
+    """
+    if block_bytes is None:
+        block_bytes = 128 * MB if shuffle_engine == "hadoopa" else 256 * MB
+    conf = JobConf(
+        job_id=f"terasort-{int(data_bytes / GB)}g-{shuffle_engine}",
+        benchmark="terasort",
+        data_bytes=data_bytes,
+        block_bytes=block_bytes,
+        n_reduces=4 * n_nodes,
+        record_model=TERASORT_RECORDS,
+        shuffle_engine=shuffle_engine,
+    )
+    return conf.scaled(**overrides) if overrides else conf
+
+
+def sort_job(
+    data_bytes: float,
+    n_nodes: int,
+    shuffle_engine: str,
+    block_bytes: float = 64 * MB,
+    **overrides: Any,
+) -> JobConf:
+    """The paper's Sort configuration (§IV-C): 64 MB blocks, RandomWriter input."""
+    conf = JobConf(
+        job_id=f"sort-{int(data_bytes / GB)}g-{shuffle_engine}",
+        benchmark="sort",
+        data_bytes=data_bytes,
+        block_bytes=block_bytes,
+        n_reduces=4 * n_nodes,
+        record_model=RANDOMWRITER_RECORDS,
+        shuffle_engine=shuffle_engine,
+    )
+    return conf.scaled(**overrides) if overrides else conf
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated job."""
+
+    conf: JobConf
+    transport: str
+    n_nodes: int
+    execution_time: float
+    #: Simulation timestamps of phase milestones.
+    first_map_start: float = 0.0
+    last_map_end: float = 0.0
+    first_reduce_done: float = 0.0
+    last_reduce_done: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Task attempt spans (see :mod:`repro.tools.timeline`).
+    task_spans: list[Any] = field(default_factory=list)
+
+    @property
+    def map_phase_seconds(self) -> float:
+        return self.last_map_end - self.first_map_start
+
+    @property
+    def reduce_tail_seconds(self) -> float:
+        """Time from the last map finishing to job completion."""
+        return self.last_reduce_done - self.last_map_end
+
+    def summary(self) -> str:
+        c = self.counters
+        return (
+            f"{self.conf.job_id} on {self.transport} x{self.n_nodes}: "
+            f"{self.execution_time:.0f}s "
+            f"(maps {self.map_phase_seconds:.0f}s, tail {self.reduce_tail_seconds:.0f}s, "
+            f"cache hit {c.get('cache.hit_rate', 0.0):.0%})"
+        )

@@ -1,0 +1,302 @@
+"""The JobTracker: task scheduling and job lifecycle (§II-A).
+
+Scheduling reproduces 0.20.2 behaviour at the fidelity the experiments
+need: fixed map/reduce slots per TaskTracker, locality-preferring greedy
+map assignment (with 3-way replicated input, locality is near-total),
+reducers launched once ``mapred.reduce.slowstart.completed.maps`` of the
+maps have finished, and no speculative execution (the paper's tuned
+setup).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.hdfs.block import Block
+from repro.mapreduce.context import JobContext
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.maptask import TaskFailure, run_map_task
+from repro.mapreduce.shuffle.base import engine_by_name
+from repro.mapreduce.tasktracker import TaskTracker
+from repro.sim.core import Event
+
+__all__ = ["JobTracker"]
+
+
+class JobTracker:
+    """Runs one job to completion on the context's cluster."""
+
+    def __init__(self, ctx: JobContext):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.pending_maps: list[tuple[int, Block]] = []
+        self._slowstart_event = Event(self.sim)
+        self._slowstart_target = 0
+        self._reduce_done_times: list[float] = []
+        # Speculative execution bookkeeping: live attempts per map task.
+        self._attempts: dict[int, list[Any]] = {}
+        self._attempt_meta: dict[int, tuple[float, str, Block]] = {}
+        self._speculated: set[int] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, JobResult]:
+        ctx = self.ctx
+        conf = ctx.conf
+        provider_cls, consumer_cls = engine_by_name(conf.shuffle_engine)
+
+        # Input already resides in HDFS (TeraGen/RandomWriter ran earlier).
+        blocks = ctx.dfs.provision_file(
+            f"{conf.job_id}/input",
+            conf.data_bytes,
+            conf.block_bytes,
+            replication=conf.input_replication,
+        )
+        self.pending_maps = list(enumerate(blocks))
+        self._slowstart_target = max(
+            1, int(-(-conf.reduce_slowstart * len(blocks) // 1))
+        )
+
+        # Bring up TaskTrackers with the chosen engine's provider.
+        for node in ctx.cluster.nodes:
+            tt = TaskTracker(ctx, node)
+            tt.provider = provider_cls(ctx, tt)
+            ctx.trackers[node.name] = tt
+
+        # Job setup (setup task, InputFormat split computation, ...).
+        yield self.sim.timeout(conf.costs.job_overhead / 2.0)
+        start_time = self.sim.now
+
+        trackers = list(ctx.trackers.values())
+        map_loops = [
+            self.sim.process(self._tt_map_loop(tt), name=f"{tt.name}-maploop")
+            for tt in trackers
+        ]
+        # Track slow-start via the (delayed) completion board.
+        self.sim.process(self._slowstart_watch(), name="slowstart")
+        if conf.speculative_execution:
+            self.sim.process(self._speculation_watcher(), name="speculator")
+
+        # Launch reducers once slow-start is reached.
+        yield self._slowstart_event
+        reducers = []
+        for reduce_id in range(conf.n_reduces):
+            tt = trackers[reduce_id % len(trackers)]
+            reducers.append(
+                self.sim.process(
+                    self._reduce_wrapper(tt, reduce_id, consumer_cls),
+                    name=f"reduce-{reduce_id}",
+                )
+            )
+
+        yield self.sim.all_of(map_loops + reducers)
+        # Job cleanup.
+        yield self.sim.timeout(conf.costs.job_overhead / 2.0)
+
+        counters = ctx.counters.as_dict()
+        hits = counters.get("cache.hits", 0.0)
+        misses = counters.get("cache.misses", 0.0)
+        if hits + misses > 0:
+            counters["cache.hit_rate"] = hits / (hits + misses)
+        counters["disk.bytes_read"] = ctx.cluster.total_disk_bytes_read()
+        counters["disk.bytes_written"] = ctx.cluster.total_disk_bytes_written()
+        counters["net.bytes"] = ctx.cluster.fabric.flows.total_bytes
+
+        return JobResult(
+            conf=conf,
+            transport=ctx.cluster.spec.transport.name,
+            n_nodes=ctx.cluster.n_nodes,
+            # now - start_time already includes the cleanup half of the
+            # overhead; add back only the setup half spent before start_time.
+            execution_time=self.sim.now - start_time + conf.costs.job_overhead / 2.0,
+            first_map_start=ctx.first_map_start or start_time,
+            last_map_end=ctx.last_map_end,
+            first_reduce_done=min(self._reduce_done_times, default=self.sim.now),
+            last_reduce_done=max(self._reduce_done_times, default=self.sim.now),
+            counters=counters,
+            task_spans=list(ctx.spans),
+        )
+
+    # -- map scheduling ----------------------------------------------------------
+
+    def _pick_map(self, tt: TaskTracker) -> tuple[int, Block] | None:
+        """Prefer a map whose block has a replica on this TaskTracker."""
+        if not self.pending_maps:
+            return None
+        for i, (map_id, block) in enumerate(self.pending_maps):
+            if block.is_local_to(tt.node.name):
+                return self.pending_maps.pop(i)
+        self.ctx.counters.add("map.non_local", 1)
+        return self.pending_maps.pop(0)
+
+    def _tt_map_loop(self, tt: TaskTracker) -> Generator[Event, Any, None]:
+        launched: list[Event] = []
+        while self.pending_maps:
+            slot = tt.map_slots.request()
+            yield slot
+            task = self._pick_map(tt)
+            if task is None:
+                tt.map_slots.release(slot)
+                break
+            proc = self.sim.process(
+                self._map_wrapper(tt, task, slot), name=f"map-{task[0]}"
+            )
+            self._attempts.setdefault(task[0], []).append(proc)
+            self._attempt_meta[task[0]] = (self.sim.now, tt.name, task[1])
+            launched.append(proc)
+        if launched:
+            yield self.sim.all_of(launched)
+
+    def _map_wrapper(
+        self, tt: TaskTracker, task: tuple[int, Block], slot: Any
+    ) -> Generator[Event, Any, None]:
+        """Run one map task, retrying failed attempts on this TaskTracker.
+
+        (0.20.2 prefers re-running on a different node; at simulation
+        fidelity the re-execution *cost* is what matters, and input blocks
+        are replicated so locality is equivalent.)
+        """
+        from repro.sim.core import Interrupted
+        from repro.tools.timeline import TaskSpan
+
+        map_id, block = task
+        try:
+            for attempt in range(self.ctx.conf.max_task_attempts):
+                started = self.sim.now
+                try:
+                    yield from run_map_task(self.ctx, tt, map_id, block, attempt)
+                    self.ctx.spans.append(
+                        TaskSpan("map", map_id, attempt, tt.name, started, self.sim.now)
+                    )
+                    self._kill_losing_attempts(map_id)
+                    return
+                except TaskFailure:
+                    self.ctx.spans.append(
+                        TaskSpan(
+                            "map", map_id, attempt, tt.name, started, self.sim.now, ok=False
+                        )
+                    )
+                    continue
+                except Interrupted:
+                    # A sibling speculative attempt committed first.
+                    self.ctx.spans.append(
+                        TaskSpan(
+                            "map", map_id, attempt, tt.name, started, self.sim.now, ok=False
+                        )
+                    )
+                    return
+            raise RuntimeError(
+                f"map {map_id} exceeded {self.ctx.conf.max_task_attempts} attempts"
+            )
+        finally:
+            tt.map_slots.release(slot)
+
+    def _kill_losing_attempts(self, map_id: int) -> None:
+        """Interrupt still-running sibling attempts after a commit."""
+        me = self.sim.active_process
+        for proc in self._attempts.get(map_id, []):
+            if proc is not me and proc.is_alive:
+                proc.interrupt("lost speculative race")
+
+    # -- speculative execution -------------------------------------------------
+
+    def _speculation_watcher(self) -> Generator[Event, Any, None]:
+        """Launch backup attempts for stragglers (mapred speculative
+        execution: eligible once no pending work remains and an attempt
+        runs beyond ``speculative_threshold`` x the completed median)."""
+        ctx = self.ctx
+        conf = ctx.conf
+        trackers = list(ctx.trackers.values())
+        while ctx.completed_maps < ctx.n_maps:
+            yield self.sim.timeout(2.0)
+            if self.pending_maps:
+                continue
+            durations = sorted(
+                s.duration for s in ctx.spans if s.kind == "map" and s.ok
+            )
+            if not durations:
+                continue
+            median = durations[len(durations) // 2]
+            for map_id, (started, tt_name, block) in list(self._attempt_meta.items()):
+                if (
+                    map_id in self._speculated
+                    or map_id in ctx.map_outputs
+                    or self.sim.now - started <= conf.speculative_threshold * median
+                ):
+                    continue
+                candidates = [
+                    tt
+                    for tt in trackers
+                    if tt.name != tt_name and tt.map_slots.count < tt.map_slots.capacity
+                ]
+                if not candidates:
+                    continue
+                backup_tt = candidates[0]
+                self._speculated.add(map_id)
+                slot = backup_tt.map_slots.request()
+                yield slot
+                if map_id in ctx.map_outputs:
+                    # The original committed while we waited for a slot.
+                    backup_tt.map_slots.release(slot)
+                    continue
+                ctx.counters.add("map.speculative_launched", 1)
+                proc = self.sim.process(
+                    self._map_wrapper(backup_tt, (map_id, block), slot),
+                    name=f"map-{map_id}-backup",
+                )
+                self._attempts.setdefault(map_id, []).append(proc)
+
+    def _slowstart_watch(self) -> Generator[Event, Any, None]:
+        inbox = self.ctx.board.subscribe()
+        seen = 0
+        while seen < self._slowstart_target:
+            yield inbox.get()
+            seen += 1
+        self._slowstart_event.succeed()
+
+    # -- reducers -------------------------------------------------------------------
+
+    def _reduce_wrapper(
+        self, tt: TaskTracker, reduce_id: int, consumer_cls: type
+    ) -> Generator[Event, Any, None]:
+        from repro.mapreduce.maptask import TaskFailure
+        from repro.tools.timeline import TaskSpan
+
+        ctx = self.ctx
+        with tt.reduce_slots.request() as slot:
+            yield slot
+            for attempt in range(ctx.conf.max_task_attempts):
+                started = self.sim.now
+                yield from tt.node.compute(
+                    ctx.conf.costs.task_startup
+                    * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
+                )
+                consumer = consumer_cls(ctx, tt, reduce_id, attempt)
+                try:
+                    yield from consumer.run()
+                    ctx.spans.append(
+                        TaskSpan(
+                            "reduce", reduce_id, attempt, tt.name, started, self.sim.now
+                        )
+                    )
+                    break
+                except TaskFailure:
+                    ctx.spans.append(
+                        TaskSpan(
+                            "reduce",
+                            reduce_id,
+                            attempt,
+                            tt.name,
+                            started,
+                            self.sim.now,
+                            ok=False,
+                        )
+                    )
+                    continue
+            else:
+                raise RuntimeError(
+                    f"reduce {reduce_id} exceeded "
+                    f"{ctx.conf.max_task_attempts} attempts"
+                )
+        self._reduce_done_times.append(self.sim.now)

@@ -1,0 +1,10 @@
+"""Pluggable shuffle engines: vanilla HTTP, Hadoop-A, and OSU-IB RDMA."""
+
+from repro.mapreduce.shuffle.base import (
+    ENGINES,
+    ShuffleConsumer,
+    ShuffleProvider,
+    engine_by_name,
+)
+
+__all__ = ["ENGINES", "ShuffleConsumer", "ShuffleProvider", "engine_by_name"]

@@ -1,0 +1,124 @@
+"""Shuffle engine interfaces and shared reducer plumbing.
+
+An engine contributes two halves:
+
+* a :class:`ShuffleProvider` per TaskTracker — serves map-output segments
+  to requesting reducers (HTTP servlets / Hadoop-A responders / OSU-IB's
+  RDMAListener-Receiver-Responder stack);
+* a :class:`ShuffleConsumer` per ReduceTask — fetches, merges, reduces,
+  and writes the output.  The consumer owns the *whole* reduce lifecycle
+  because the overlap structure (Figure 3) is exactly what differs
+  between the designs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.core.protocol import MapOutputMeta
+from repro.sim.core import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.context import JobContext
+    from repro.mapreduce.tasktracker import TaskTracker
+    from repro.storage.localfs import LocalFile
+
+__all__ = ["ENGINES", "ShuffleConsumer", "ShuffleProvider", "engine_by_name"]
+
+
+class ShuffleProvider:
+    """TaskTracker-side segment server (one per TaskTracker)."""
+
+    def __init__(self, ctx: "JobContext", tt: "TaskTracker"):
+        self.ctx = ctx
+        self.tt = tt
+
+    def on_map_output(self, meta: MapOutputMeta, file: "LocalFile") -> None:
+        """Hook invoked when a local map task publishes its output."""
+
+
+class ShuffleConsumer:
+    """ReduceTask-side shuffle + merge + reduce pipeline (one per reducer)."""
+
+    def __init__(
+        self, ctx: "JobContext", tt: "TaskTracker", reduce_id: int, attempt: int = 0
+    ):
+        self.ctx = ctx
+        self.tt = tt
+        self.node = tt.node
+        self.reduce_id = reduce_id
+        self.attempt = attempt
+        # Attempt-scoped output name (Hadoop's _temporary attempt dirs).
+        self.output_file = f"output/part-{reduce_id:05d}.a{attempt}"
+        self.bytes_reduced = 0.0
+        # Fault injection: decide up front whether this attempt dies and
+        # after how much reduced output (paper §VI future work).
+        self._fail_after_bytes = float("inf")
+        if ctx.conf.reduce_failure_rate > 0:
+            fate = ctx.rng.stream(f"redfail-{reduce_id}-a{attempt}")
+            if fate.uniform() < ctx.conf.reduce_failure_rate:
+                expected = ctx.conf.data_bytes / ctx.conf.n_reduces
+                self._fail_after_bytes = float(fate.uniform(0.05, 0.95)) * expected
+        self.aborted = False
+
+    # -- engine entry point -------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, None]:
+        """Full reduce lifecycle; drive with the simulator."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _output_stream_id(self) -> str:
+        return f"redout-r{self.reduce_id}"
+
+    def reduce_and_write(
+        self, nbytes: float, jitter: float
+    ) -> Generator[Event, Any, None]:
+        """Apply the reduce function to ``nbytes`` and append it to HDFS.
+
+        The identity reduce of TeraSort/Sort: reduce CPU + the replicated
+        output write.
+        """
+        if nbytes <= 0:
+            return
+        if self.bytes_reduced >= self._fail_after_bytes:
+            from repro.mapreduce.maptask import TaskFailure
+
+            self.aborted = True
+            self.ctx.counters.add("reduce.failed_attempts", 1)
+            raise TaskFailure(f"reduce-{self.reduce_id}", self.attempt)
+        cost = self.ctx.conf.costs
+        yield from self.node.compute(cost.cpu_seconds("reduce", nbytes) * jitter)
+        yield from self.ctx.dfs.write_file_part(
+            self.node,
+            self.output_file,
+            nbytes,
+            replication=self.ctx.conf.output_replication,
+            stream_id=self._output_stream_id(),
+        )
+        self.bytes_reduced += nbytes
+        self.ctx.counters.add("reduce.output_bytes", nbytes)
+
+
+def engine_by_name(name: str) -> tuple[type[ShuffleProvider], type[ShuffleConsumer]]:
+    """Resolve an engine name to its (provider, consumer) classes."""
+    # Imported here to avoid a cycle (engines import this module).
+    from repro.mapreduce.shuffle.hadoopa import HadoopAConsumer, HadoopAProvider
+    from repro.mapreduce.shuffle.http import HttpShuffleConsumer, HttpShuffleProvider
+    from repro.mapreduce.shuffle.rdma import RdmaShuffleConsumer, RdmaShuffleProvider
+
+    engines: dict[str, tuple[type[ShuffleProvider], type[ShuffleConsumer]]] = {
+        "http": (HttpShuffleProvider, HttpShuffleConsumer),
+        "hadoopa": (HadoopAProvider, HadoopAConsumer),
+        "rdma": (RdmaShuffleProvider, RdmaShuffleConsumer),
+    }
+    pair = engines.get(name)
+    if pair is None:
+        raise KeyError(f"unknown shuffle engine {name!r}; known: {sorted(engines)}")
+    return pair
+
+
+#: Names of the available engines (for experiment sweeps).
+ENGINES = ("http", "hadoopa", "rdma")

@@ -1,0 +1,454 @@
+"""Shared machinery for the verbs-based streaming-merge engines.
+
+Both Hadoop-A and OSU-IB keep shuffle data on the map side until the
+reducer's streaming merge consumes it ("network-levitated" merge): the
+reducer holds only bounded per-run buffers, merges with the priority-queue
+protocol (modelled at aggregate granularity by
+:class:`~repro.core.virtualmerge.VirtualMerger`), and feeds reduce through
+a FIFO.  This module implements that common skeleton; the two engines
+differ in the policy methods:
+
+* **packetisation** — how a segment is cut into messages (size-aware vs.
+  fixed pairs-per-packet), which sets the *minimum fetch granularity*;
+* **eagerness** — OSU-IB copiers stream packets as soon as each map
+  completes (push), Hadoop-A pulls on merge demand once all segments are
+  known;
+* **TaskTracker service** — cache-first (OSU-IB) vs. disk-per-fetch
+  (Hadoop-A).
+
+**Staging fallback**: when the per-run minimum fetch times the number of
+runs cannot fit in half the shuffle buffer, the merge cannot hold every
+run's head simultaneously.  Overflowing runs are *staged*: fetched
+entirely to local disk and re-read during the merge.  For OSU-IB's
+128 KB size-aware packets this is essentially never triggered; for
+Hadoop-A on Sort (fixed 1310 pairs x ~10.5 KB pairs => ~14 MB minimum
+messages) it is the norm — which is the structural reason Hadoop-A loses
+to plain IPoIB on the Sort benchmark (paper §IV-C) and recovers on SSD
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.packets import Packetizer
+from repro.core.protocol import DataRequest, MapOutputMeta
+from repro.core.virtualmerge import VirtualMerger
+from repro.mapreduce.shuffle.base import ShuffleConsumer, ShuffleProvider
+from repro.sim.core import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.context import JobContext
+    from repro.mapreduce.tasktracker import TaskTracker
+
+__all__ = ["QueueingProvider", "StreamingConsumer", "FetchState"]
+
+#: Response header accompanying every data message.
+RESPONSE_HEADER_BYTES = 96
+
+
+class QueueingProvider(ShuffleProvider):
+    """TaskTracker side: request queue + responder thread pool.
+
+    This is the paper's RDMAReceiver -> DataRequestQueue -> RDMAResponder
+    structure; Hadoop-A's responder differs only in lacking the cache
+    lookup (its DataEngine reads from disk for every request).
+    """
+
+    def __init__(self, ctx: "JobContext", tt: "TaskTracker"):
+        super().__init__(ctx, tt)
+        #: The DataRequestQueue (§III-B.1).
+        self.data_request_queue = Store(ctx.sim, name=f"{tt.name}.reqq")
+        self.bytes_served = 0.0
+        for i in range(self.responder_threads()):
+            ctx.sim.process(self._responder(), name=f"{tt.name}-responder{i}")
+
+    # -- policy hooks ------------------------------------------------------
+
+    def responder_threads(self) -> int:
+        raise NotImplementedError
+
+    def packetizer(self) -> Packetizer:
+        raise NotImplementedError
+
+    def fetch_payload(
+        self, req: DataRequest, meta: MapOutputMeta, file: Any, take: float
+    ) -> Generator[Event, Any, bool]:
+        """Bring ``take`` bytes of the segment into send buffers.
+
+        Returns True when the bytes were already memory-resident (cache
+        hit); the base implementation always reads from disk.
+        """
+        yield from self.tt.node.fs.read(
+            file,
+            take,
+            stream_id=f"serve-m{req.map_id}-r{req.reduce_id}",
+            priority=0.0,
+        )
+        self.ctx.counters.add("shuffle.tt_disk_read_bytes", take)
+        return False
+
+    def after_serve(self, req: DataRequest, meta: MapOutputMeta, eof: bool) -> None:
+        """Hook after a response is sent (cache upkeep)."""
+
+    # -- request handling ----------------------------------------------------
+
+    def submit(self, req: DataRequest, done: Event, requester_node: Any) -> None:
+        """RDMAReceiver: enqueue an incoming request."""
+        self.data_request_queue.put((req, done, requester_node))
+
+    def _responder(self) -> Generator[Event, Any, None]:
+        ctx = self.ctx
+        while True:
+            req, done, requester = yield self.data_request_queue.get()
+            meta, file = self.tt.output_of(req.map_id)
+            seg_bytes, seg_pairs = meta.segment(req.reduce_id)
+            take = max(0.0, min(req.max_bytes, seg_bytes - req.offset))
+            if take <= 0:
+                done.succeed(0.0)
+                continue
+            yield from self.fetch_payload(req, meta, file, take)
+            # Message accounting from the engine's packet plan.
+            model = ctx.conf.record_model
+            pairs = max(1, int(round(take / model.avg_pair_bytes)))
+            plan = self.packetizer().plan(
+                take, pairs, model.avg_pair_bytes, model.max_pair_bytes
+            )
+            ep = ctx.ucr.endpoint(self.tt.node, requester)
+            yield from ep.send(
+                take + RESPONSE_HEADER_BYTES * max(1, plan.n_packets),
+                messages=max(1, plan.n_packets),
+            )
+            self.bytes_served += take
+            ctx.counters.add("shuffle.bytes", take)
+            eof = req.offset + take >= seg_bytes
+            self.after_serve(req, meta, eof)
+            done.succeed(take)
+
+
+@dataclass
+class FetchState:
+    """Per-(map, this-reducer) fetch progress."""
+
+    meta: MapOutputMeta
+    seg_bytes: float
+    seg_pairs: int
+    offset: float = 0.0
+    in_flight: bool = False
+    #: Overflow runs are staged to local disk before the merge.
+    staged: bool = False
+    staged_done: bool = False
+    staged_file: Any = None
+    restore_offset: float = 0.0
+    seqno: int = 0
+    #: Scheduler bookkeeping: present in the eager work queue / fully done.
+    queued: bool = False
+    done: bool = False
+
+    @property
+    def fetch_remaining(self) -> float:
+        return max(0.0, self.seg_bytes - self.offset)
+
+
+class StreamingConsumer(ShuffleConsumer):
+    """Reducer side: copiers + VirtualMerger + pipelined merge/reduce."""
+
+    def __init__(
+        self, ctx: "JobContext", tt: "TaskTracker", reduce_id: int, attempt: int = 0
+    ):
+        super().__init__(ctx, tt, reduce_id, attempt)
+        sim = ctx.sim
+        #: Shuffle-buffer bytes; enforced through per-run fetch targets
+        #: (sum of targets <= capacity) rather than a blocking reservation,
+        #: which keeps the fetch/merge loop deadlock-free by construction.
+        self.capacity = ctx.shuffle_buffer_bytes()
+        self.vm = VirtualMerger(expected_runs=ctx.n_maps)
+        self.states: dict[int, FetchState] = {}
+        self._levitated_budget = self.capacity / 2.0
+        self._staging_active = 0
+        self._progress = Event(sim)
+        self.jitter = ctx.jitter(f"reduce-{reduce_id}")
+        # O(1) fetch scheduling: states with possible eager work sit in the
+        # work queue; states at their read-ahead target are parked until the
+        # merge frontier advances; a counter tracks not-yet-finished runs.
+        self._work_queue: deque[FetchState] = deque()
+        self._parked: list[FetchState] = []
+        self._undone = 0
+        self._staged_pending = 0  # staged runs not yet fully on local disk
+
+    # -- policy hooks ----------------------------------------------------------
+
+    def eager(self) -> bool:
+        """Fetch before all maps are declared (push) or only after (pull)."""
+        raise NotImplementedError
+
+    def fetch_threads(self) -> int:
+        raise NotImplementedError
+
+    def min_fetch_bytes(self, state: FetchState) -> float:
+        """Smallest message the engine's packetisation can request."""
+        raise NotImplementedError
+
+    def wave_cap_bytes(self) -> float:
+        """Upper bound on one fetch batch."""
+        raise NotImplementedError
+
+    def buffer_waves(self) -> float:
+        """Read-ahead depth per run, in waves (1 = no double buffering)."""
+        raise NotImplementedError
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, None]:
+        sim = self.ctx.sim
+        inbox = self.ctx.board.subscribe()
+        collector = sim.process(
+            self._collector(inbox), name=f"r{self.reduce_id}-collector"
+        )
+        fetchers = [
+            sim.process(self._fetcher(), name=f"r{self.reduce_id}-fetch{i}")
+            for i in range(self.fetch_threads())
+        ]
+        pipeline = sim.process(self._pipeline(), name=f"r{self.reduce_id}-pipeline")
+        yield sim.all_of([collector, *fetchers, pipeline])
+        self.ctx.counters.add("reduce.completed", 1)
+
+    # -- signalling -------------------------------------------------------------
+
+    def _signal(self) -> None:
+        ev, self._progress = self._progress, Event(self.ctx.sim)
+        ev.succeed()
+
+    def _wait_progress(self) -> Event:
+        return self._progress
+
+    # -- collection (Map Completion Fetcher) ---------------------------------------
+
+    def _collector(self, inbox: Store) -> Generator[Event, Any, None]:
+        remaining = self.ctx.n_maps
+        while remaining > 0:
+            meta: MapOutputMeta = yield inbox.get()
+            seg_bytes, seg_pairs = meta.segment(self.reduce_id)
+            state = FetchState(meta=meta, seg_bytes=seg_bytes, seg_pairs=seg_pairs)
+            # Staging decision: a run is levitated while its minimum fetch
+            # granularity still fits the levitation budget.
+            need = self.min_fetch_bytes(state)
+            if seg_bytes > 0 and need <= self._levitated_budget:
+                self._levitated_budget -= need
+            elif seg_bytes > 0:
+                state.staged = True
+                self._staged_pending += 1
+                self.ctx.counters.add("reduce.staged_runs", 1)
+            self.states[meta.map_id] = state
+            self.vm.add_run(meta.map_id, seg_bytes)
+            if self._has_work(state):
+                self._undone += 1
+                self._enqueue(state)
+            else:
+                state.done = True
+            remaining -= 1
+            self._signal()
+
+    # -- fetching ------------------------------------------------------------------
+
+    def _all_fetched(self) -> bool:
+        return self.vm.all_declared and self._undone == 0
+
+    def _enqueue(self, state: FetchState) -> None:
+        if not state.queued and not state.done and not state.in_flight:
+            state.queued = True
+            self._work_queue.append(state)
+
+    def _unpark_all(self) -> None:
+        """Frontier advanced: parked runs may have read-ahead room again."""
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for state in parked:
+            self._enqueue(state)
+
+    def _settle_state(self, state: FetchState) -> None:
+        """Update done-accounting after working on a run."""
+        if not state.done and not self._has_work(state):
+            state.done = True
+            self._undone -= 1
+
+    def _pick(self) -> FetchState | None:
+        """Choose the next run to work on.
+
+        Priority: (1) merge-bottleneck runs (lowest coverage — the paper's
+        "get next set of key-value pairs from that particular map");
+        (2) when eager/read-ahead is allowed, the next queued run below
+        its read-ahead target.  All transitions are O(1) amortised.
+        """
+        vm = self.vm
+        if vm.all_declared:
+            for run_id in vm.bottlenecks(k=self.fetch_threads() * 2):
+                state = self.states[run_id]
+                if not state.in_flight and self._has_work(state):
+                    return state
+        if not self.eager() and not vm.all_declared:
+            return None
+        while self._work_queue:
+            state = self._work_queue.popleft()
+            state.queued = False
+            if state.in_flight or state.done or not self._has_work(state):
+                continue
+            if state.staged and not state.staged_done:
+                return state
+            target = self.buffer_waves() * self._wave_for(state)
+            if vm.buffered_of(state.meta.map_id) < target:
+                return state
+            self._parked.append(state)  # at target: wait for the frontier
+        return None
+
+    def _has_work(self, state: FetchState) -> bool:
+        if state.seg_bytes <= 0:
+            return False
+        if state.staged:
+            if not state.staged_done:
+                return True
+            return state.restore_offset < state.seg_bytes
+        return state.fetch_remaining > 0
+
+    def _wave_for(self, state: FetchState) -> float:
+        per_run_share = self.capacity / (2.0 * max(1, self.ctx.n_maps))
+        wave = max(self.min_fetch_bytes(state), per_run_share)
+        wave = min(wave, self.wave_cap_bytes())
+        # Never let a handful of threads reserve the whole buffer.
+        wave = min(wave, self.capacity / (2.0 * self.fetch_threads()))
+        return max(1.0, min(wave, state.seg_bytes))
+
+    def _fetcher(self) -> Generator[Event, Any, None]:
+        while True:
+            if self.aborted:
+                return  # the reduce attempt died; stop generating load
+            state = self._pick()
+            if state is None:
+                if self._all_fetched():
+                    return
+                yield self._wait_progress()
+                continue
+            state.in_flight = True
+            try:
+                if state.staged and not state.staged_done:
+                    yield from self._stage_run(state)
+                elif state.staged:
+                    yield from self._restore_wave(state)
+                else:
+                    yield from self._fetch_wave(state)
+            finally:
+                state.in_flight = False
+            self._settle_state(state)
+            self._enqueue(state)
+            self._signal()
+
+    def _fetch_wave(self, state: FetchState) -> Generator[Event, Any, None]:
+        """One network fetch batch for a levitated run."""
+        wave = min(self._wave_for(state), state.fetch_remaining)
+        got = yield from self._request(state, wave)
+        state.offset += got
+        self.vm.feed(state.meta.map_id, got)
+
+    def _request(
+        self, state: FetchState, nbytes: float
+    ) -> Generator[Event, Any, float]:
+        """RDMACopier: request/response over UCR endpoints."""
+        ctx = self.ctx
+        tt_node = ctx.cluster.node(state.meta.host)
+        if not ctx.ucr.is_connected(self.node, tt_node):
+            yield from ctx.ucr.connect(self.node, tt_node)
+        if ctx.conf.fetch_failure_rate > 0:
+            fate = ctx.rng.stream("fetchfail")
+            while fate.uniform() < ctx.conf.fetch_failure_rate:
+                ctx.counters.add("shuffle.fetch_retries", 1)
+                yield ctx.sim.timeout(ctx.conf.fetch_retry_delay)
+        state.seqno += 1
+        req = DataRequest(
+            job_id=ctx.conf.job_id,
+            map_id=state.meta.map_id,
+            reduce_id=self.reduce_id,
+            offset=state.offset,
+            max_bytes=nbytes,
+            seqno=state.seqno,
+        )
+        yield from ctx.ucr.endpoint(self.node, tt_node).send(req.serialized_size())
+        done = Event(ctx.sim)
+        provider = ctx.trackers[state.meta.host].provider
+        assert isinstance(provider, QueueingProvider)
+        provider.submit(req, done, self.node)
+        got = yield done
+        return float(got)
+
+    # -- staging (overflow fallback) ---------------------------------------------
+
+    def _stage_run(self, state: FetchState) -> Generator[Event, Any, None]:
+        """Fetch a whole overflow segment to local disk before the merge."""
+        self._staging_active += 1
+        try:
+            state.staged_file = self.node.fs.create(
+                f"staged/r{self.reduce_id}a{self.attempt}/m{state.meta.map_id}"
+            )
+            buf = min(state.seg_bytes, self.wave_cap_bytes())
+            while state.fetch_remaining > 0:
+                step = min(buf, state.fetch_remaining)
+                got = yield from self._request(state, step)
+                state.offset += got
+                yield from self.node.fs.write(
+                    state.staged_file,
+                    got,
+                    stream_id=f"stage-r{self.reduce_id}",
+                )
+                if got <= 0:
+                    break
+            state.staged_done = True
+            self._staged_pending -= 1
+            self.ctx.counters.add("reduce.staged_bytes", state.seg_bytes)
+        finally:
+            self._staging_active -= 1
+
+    def _restore_wave(self, state: FetchState) -> Generator[Event, Any, None]:
+        """Feed the merge from a staged run's local disk copy."""
+        remaining = state.seg_bytes - state.restore_offset
+        wave = min(self._wave_for(state), remaining)
+        if wave <= 0:
+            return
+        yield from self.node.fs.read(
+            state.staged_file,
+            wave,
+            stream_id=f"restore-r{self.reduce_id}-m{state.meta.map_id}",
+        )
+        state.restore_offset += wave
+        self.vm.feed(state.meta.map_id, wave)
+        self.ctx.counters.add("reduce.restored_bytes", wave)
+
+    # -- merge + reduce pipeline ------------------------------------------------------
+
+    def merge_gate_open(self) -> bool:
+        """Whether extraction may begin (engines add barriers here)."""
+        return True
+
+    def _pipeline(self) -> Generator[Event, Any, None]:
+        sim = self.ctx.sim
+        conf = self.ctx.conf
+        cost = conf.costs
+        while True:
+            if not self.merge_gate_open():
+                yield self._wait_progress()
+                continue
+            drained = self.vm.drain(conf.reduce_flush_bytes)
+            if drained <= 0:
+                if self.vm.exhausted:
+                    break
+                yield self._wait_progress()
+                continue
+            self._unpark_all()
+            self._signal()  # frontier advanced: fetchers may re-target
+            yield from self.node.compute(
+                cost.cpu_seconds("merge", drained) * self.jitter
+            )
+            yield from self.reduce_and_write(drained, self.jitter)

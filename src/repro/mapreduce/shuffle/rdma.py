@@ -1,0 +1,124 @@
+"""OSU-IB: the paper's RDMA shuffle engine (§III-B).
+
+TaskTracker side (:class:`RdmaShuffleProvider`):
+
+* **RDMAListener** — endpoint establishment is handled by the UCR runtime
+  (connections are set up on first contact by the RDMACopier);
+* **RDMAReceiver** — :meth:`QueueingProvider.submit` places incoming
+  requests on the **DataRequestQueue**;
+* **RDMAResponder** — a pool of light-weight threads waiting on the queue;
+  each response is served *cache-first*: a PrefetchCache hit skips the
+  disk entirely; a miss reads from disk on the critical path and asks the
+  MapOutputPrefetcher to re-cache that segment with elevated priority so
+  the segment's remaining waves hit;
+* **MapOutputPrefetcher** — caches freshly-finished map outputs in the
+  background (:mod:`repro.mapreduce.shuffle.prefetch`).
+
+ReduceTask side (:class:`RdmaShuffleConsumer`): the **RDMACopier** streams
+size-aware packets eagerly (push) as map-completion events arrive, keeping
+a double-buffered read-ahead per run; merge and reduce are fully pipelined
+through the DataToReduceQueue (Figure 3 bottom).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.core.cache import PrefetchCache
+from repro.core.packets import Packetizer, SizeAwarePacketizer
+from repro.core.protocol import DataRequest, MapOutputMeta
+from repro.mapreduce.shuffle.levitated import (
+    FetchState,
+    QueueingProvider,
+    StreamingConsumer,
+)
+from repro.mapreduce.shuffle.prefetch import MapOutputPrefetcher
+from repro.sim.core import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.context import JobContext
+    from repro.mapreduce.tasktracker import TaskTracker
+
+__all__ = ["RdmaShuffleConsumer", "RdmaShuffleProvider"]
+
+
+class RdmaShuffleProvider(QueueingProvider):
+    """Listener/Receiver/DataRequestQueue/Responder + prefetch cache."""
+
+    def __init__(self, ctx: "JobContext", tt: "TaskTracker"):
+        self._packetizer = SizeAwarePacketizer(ctx.conf.rdma_packet_bytes)
+        caching = ctx.conf.caching_enabled
+        capacity = ctx.cache_capacity_bytes(tt.node) if caching else 0.0
+        self.cache = PrefetchCache(capacity)
+        super().__init__(ctx, tt)
+        self.prefetcher = (
+            MapOutputPrefetcher(ctx, tt, self.cache) if caching and capacity > 0 else None
+        )
+
+    def responder_threads(self) -> int:
+        return self.ctx.conf.rdma_responder_threads
+
+    def packetizer(self) -> Packetizer:
+        return self._packetizer
+
+    def on_map_output(self, meta: MapOutputMeta, file: Any) -> None:
+        """§III-B.3: cache intermediate output as soon as it is available."""
+        if self.prefetcher is not None:
+            self.prefetcher.on_map_output(meta, file)
+
+    def fetch_payload(
+        self, req: DataRequest, meta: MapOutputMeta, file: Any, take: float
+    ) -> Generator[Event, Any, bool]:
+        seg_id = (req.map_id, req.reduce_id)
+        if self.prefetcher is not None and self.cache.hit(seg_id, take):
+            self.ctx.counters.add("cache.hit_bytes", take)
+            self.ctx.counters.add("cache.hits", 1)
+            return True
+        # Miss (or caching disabled): the TaskTracker "fetches data directly
+        # from disk itself without waiting for caching" — critical path.
+        yield from self.tt.node.fs.read(
+            file,
+            take,
+            stream_id=f"serve-m{req.map_id}-r{req.reduce_id}",
+            priority=0.0,
+        )
+        self.ctx.counters.add("shuffle.tt_disk_read_bytes", take)
+        if self.prefetcher is not None:
+            self.ctx.counters.add("cache.misses", 1)
+            self.ctx.counters.add("cache.miss_bytes", take)
+            # "...after disk fetch, it requests MapOutputPrefetcher to cache
+            # this particular map output data with more priority."
+            self.prefetcher.demand_load(meta, file, req.reduce_id)
+        return False
+
+    def after_serve(self, req: DataRequest, meta: MapOutputMeta, eof: bool) -> None:
+        if eof and self.prefetcher is not None:
+            # The segment's sole consumer has everything: free the space
+            # ("adjust caching based on data availability and necessity").
+            self.cache.evict((req.map_id, req.reduce_id))
+
+
+class RdmaShuffleConsumer(StreamingConsumer):
+    """The RDMACopier + pipelined merge/reduce (push model)."""
+
+    def eager(self) -> bool:
+        return True  # copiers stream as soon as each map completes
+
+    def fetch_threads(self) -> int:
+        return self.ctx.conf.rdma_fetch_threads
+
+    def min_fetch_bytes(self, state: FetchState) -> float:
+        # Size-aware packets: the tuned RDMA packet size regardless of the
+        # record-size distribution (never split below one max-size pair).
+        model = self.ctx.conf.record_model
+        return min(
+            state.seg_bytes,
+            max(float(self.ctx.conf.rdma_packet_bytes), model.max_pair_bytes),
+        )
+
+    def wave_cap_bytes(self) -> float:
+        return float(self.ctx.conf.rdma_wave_bytes)
+
+    def buffer_waves(self) -> float:
+        return 2.0  # double-buffered read-ahead per run

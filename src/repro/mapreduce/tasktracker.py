@@ -1,0 +1,65 @@
+"""The per-node TaskTracker: slots, map-output registry, shuffle provider."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import Node
+from repro.core.protocol import MapOutputMeta
+from repro.sim.resources import Resource
+from repro.storage.localfs import LocalFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.context import JobContext
+    from repro.mapreduce.shuffle.base import ShuffleProvider
+
+__all__ = ["TaskTracker"]
+
+
+class TaskTracker:
+    """One TaskTracker process group on one node."""
+
+    def __init__(self, ctx: "JobContext", node: Node):
+        self.ctx = ctx
+        self.node = node
+        conf = ctx.conf
+        self.map_slots = Resource(
+            ctx.sim, capacity=conf.map_slots, name=f"{node.name}.mapslots"
+        )
+        self.reduce_slots = Resource(
+            ctx.sim, capacity=conf.reduce_slots, name=f"{node.name}.redslots"
+        )
+        #: map_id -> (meta, local map-output file)
+        self.map_outputs: dict[int, tuple[MapOutputMeta, LocalFile]] = {}
+        #: Installed by the job driver once the engine is chosen.
+        self.provider: "ShuffleProvider | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def register_map_output(self, meta: MapOutputMeta, file: LocalFile) -> bool:
+        """Called by a finishing map task; feeds the shuffle provider.
+
+        Returns False when another attempt of the same map already
+        committed (a lost speculative race): the duplicate output is
+        discarded, exactly once wins.
+        """
+        if meta.map_id in self.ctx.map_outputs:
+            self.node.fs.delete(file.name)
+            self.ctx.counters.add("map.speculative_wasted", 1)
+            return False
+        self.map_outputs[meta.map_id] = (meta, file)
+        if self.provider is not None:
+            self.provider.on_map_output(meta, file)
+        self.ctx.record_map_completion(meta)
+        return True
+
+    def output_of(self, map_id: int) -> tuple[MapOutputMeta, LocalFile]:
+        entry = self.map_outputs.get(map_id)
+        if entry is None:
+            raise KeyError(f"{self.name}: no map output {map_id}")
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TaskTracker {self.name} {len(self.map_outputs)} outputs>"

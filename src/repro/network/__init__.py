@@ -1,0 +1,40 @@
+"""Flow-level network fabric and interconnect transport models.
+
+The fabric models every node's NIC as a pair of directed links (tx, rx)
+attached to a non-blocking switch (the paper's Mellanox QDR switch).  Data
+movement is simulated at *flow* granularity: each transfer is a fluid flow
+that receives a max-min fair share of every link it crosses, re-rated
+whenever the set of active flows changes.  This is the standard flow-level
+abstraction (as used by SimGrid et al.) and is what makes 100 GB-scale
+simulations tractable in Python while still capturing congestion.
+
+Transports layer protocol behaviour on top: effective per-stream bandwidth
+caps (socket stacks never reach line rate), per-message latency, per-byte
+host-CPU cost (TCP copies vs. RDMA OS-bypass), and connection setup cost.
+"""
+
+from repro.network.fabric import Fabric, NetworkInterface
+from repro.network.flows import FlowNetwork, Link
+from repro.network.transports import (
+    GIGE,
+    IB_VERBS,
+    IPOIB,
+    TENGIGE_TOE,
+    Transport,
+    TransportSpec,
+    transport_by_name,
+)
+
+__all__ = [
+    "Fabric",
+    "FlowNetwork",
+    "GIGE",
+    "IB_VERBS",
+    "IPOIB",
+    "Link",
+    "NetworkInterface",
+    "TENGIGE_TOE",
+    "Transport",
+    "TransportSpec",
+    "transport_by_name",
+]

@@ -1,0 +1,215 @@
+"""Progressive max-min fair bandwidth sharing.
+
+Each active transfer is a :class:`Flow` crossing a set of capacity-bounded
+:class:`Link` s.  Whenever a flow starts or finishes, every flow's progress
+is advanced at its previous rate and the rate vector is recomputed with the
+classic water-filling algorithm:
+
+1. every link divides its residual capacity evenly among its unfixed flows;
+2. the most contended link (smallest fair share) pins its flows at that
+   share;
+3. pinned bandwidth is subtracted and the process repeats.
+
+A per-flow rate cap (the transport's effective single-stream bandwidth) is
+expressed as a private single-flow link, which folds it into the same
+algorithm with no special cases.
+
+The module is deliberately independent of nodes/NICs — :mod:`repro.network.
+fabric` maps topology onto link sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.sim.core import Event, Simulator
+
+__all__ = ["FlowNetwork", "Flow", "Link"]
+
+#: Bytes below which a flow is considered drained (guards float error).
+_EPSILON_BYTES = 1e-6
+#: Rate below which a share is considered zero.
+_EPSILON_RATE = 1e-9
+#: Smallest wake-up delay; also, flows within this much time of completion
+#: are finished eagerly.  Guards against the float trap where a flow's ETA
+#: is below the clock's representable tick (now + eta == now), which would
+#: spin the wake loop at zero time forever.  One microsecond is far below
+#: the fidelity of the model.
+_MIN_TICK = 1e-6
+
+
+class Link:
+    """A directed, capacity-bounded network resource (bytes/second)."""
+
+    __slots__ = ("name", "capacity", "flows", "bytes_carried")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"link {name!r}: capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        # Insertion-ordered (dict-as-set): deterministic float accumulation.
+        self.flows: dict["Flow", None] = {}
+        self.bytes_carried = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.capacity/1e6:.0f} MB/s {len(self.flows)} flows>"
+
+
+class Flow:
+    """An in-flight fluid transfer."""
+
+    __slots__ = ("id", "links", "remaining", "rate", "event", "started_at", "size")
+
+    def __init__(self, fid: int, links: tuple[Link, ...], nbytes: float, event: Event, now: float):
+        self.id = fid
+        self.links = links
+        self.remaining = float(nbytes)
+        self.size = float(nbytes)
+        self.rate = 0.0
+        self.event = event
+        self.started_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Flow {self.id} rem={self.remaining:.0f}B rate={self.rate/1e6:.1f}MB/s>"
+
+
+class FlowNetwork:
+    """The set of active flows plus the re-rating machinery."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._flows: dict[Flow, None] = {}  # insertion-ordered set
+        self._fids = itertools.count()
+        self._last_update = sim.now
+        #: monotonically increasing; invalidates stale completion wakeups
+        self._generation = 0
+        self.total_bytes = 0.0
+        self.flow_count = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def transfer(self, links: tuple[Link, ...], nbytes: float, rate_cap: float | None = None) -> Event:
+        """Start a flow of ``nbytes`` across ``links``.
+
+        ``rate_cap`` bounds the flow's own throughput (single-stream
+        transport limit).  The returned event fires when the last byte has
+        drained; the value is the flow's elapsed transfer time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        event = Event(self.sim)
+        if nbytes == 0:
+            event.succeed(0.0)
+            return event
+        flow_links = tuple(links)
+        fid = next(self._fids)
+        if rate_cap is not None:
+            if rate_cap <= 0:
+                raise ValueError(f"rate_cap must be positive, got {rate_cap}")
+            flow_links = flow_links + (Link(f"cap#{fid}", rate_cap),)
+        flow = Flow(fid, flow_links, nbytes, event, self.sim.now)
+        self._advance_progress()
+        self._flows[flow] = None
+        for link in flow.links:
+            link.flows[flow] = None
+        self.total_bytes += nbytes
+        self.flow_count += 1
+        self._rerate()
+        return event
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Drain bytes at current rates for the time since the last change."""
+        dt = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if dt <= 0 or not self._flows:
+            return
+        for flow in self._flows:
+            drained = flow.rate * dt
+            flow.remaining -= drained
+            for link in flow.links:
+                link.bytes_carried += drained
+
+    def _rerate(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        self._generation += 1
+        if not self._flows:
+            return
+
+        # Water-filling (all collections insertion-ordered for determinism).
+        unfixed: dict[Flow, None] = dict(self._flows)
+        residual: dict[Link, float] = {}
+        link_unfixed: dict[Link, int] = {}
+        links: dict[Link, None] = {}
+        for flow in self._flows:
+            flow.rate = 0.0
+            for link in flow.links:
+                links[link] = None
+        for link in links:
+            residual[link] = link.capacity
+            link_unfixed[link] = sum(1 for f in link.flows if f in unfixed)
+
+        while unfixed:
+            # Smallest fair share across links that still carry unfixed flows.
+            bottleneck: Link | None = None
+            best_share = float("inf")
+            for link in links:
+                n = link_unfixed[link]
+                if n <= 0:
+                    continue
+                share = residual[link] / n
+                if share < best_share:
+                    best_share = share
+                    bottleneck = link
+            if bottleneck is None:  # pragma: no cover - defensive
+                break
+            if best_share < _EPSILON_RATE:
+                best_share = _EPSILON_RATE
+            for flow in [f for f in bottleneck.flows if f in unfixed]:
+                flow.rate = best_share
+                del unfixed[flow]
+                for link in flow.links:
+                    residual[link] = max(0.0, residual[link] - best_share)
+                    link_unfixed[link] -= 1
+
+        # Next completion.
+        soonest = float("inf")
+        for flow in self._flows:
+            if flow.rate > _EPSILON_RATE:
+                eta = flow.remaining / flow.rate
+                soonest = min(soonest, eta)
+        if soonest != float("inf"):
+            generation = self._generation
+            wake = self.sim.timeout(max(_MIN_TICK, soonest))
+            wake.add_callback(lambda _e, g=generation: self._on_wake(g))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a later re-rating
+        self._advance_progress()
+        finished = [
+            f
+            for f in self._flows
+            if f.remaining <= max(_EPSILON_BYTES, f.rate * _MIN_TICK)
+        ]
+        if not finished:
+            self._rerate()
+            return
+        for flow in finished:
+            self._flows.pop(flow, None)
+            for link in flow.links:
+                link.flows.pop(flow, None)
+            flow.event.succeed(self.sim.now - flow.started_at)
+        self._rerate()
+
+
+def serial_transfer_time(nbytes: float, bandwidth: float, latency: float = 0.0) -> float:
+    """Closed-form uncontended transfer time (used by analytic fast paths)."""
+    return latency + nbytes / bandwidth

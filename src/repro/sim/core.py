@@ -1,0 +1,471 @@
+"""Core event loop, events, and generator-based processes.
+
+Design notes
+------------
+The kernel follows the classic event-calendar architecture: a binary heap of
+``(time, priority, sequence, event)`` tuples.  An :class:`Event` is a
+one-shot latch: it is *triggered* when given a value (or an exception),
+*processed* once the simulator pops it off the calendar and runs its
+callbacks.  A :class:`Process` wraps a generator; every value the generator
+yields must be an :class:`Event`, and the process is resumed with the
+event's value (or the event's exception is thrown into the generator) when
+that event is processed.
+
+A :class:`Process` is itself an :class:`Event` that fires when the generator
+terminates, so processes can wait on each other (fork/join) without any
+additional machinery.
+
+Failure semantics mirror SimPy: a failed event propagates its exception into
+every waiting process; a failed event that *nobody* waits on re-raises from
+:meth:`Simulator.run` so that programming errors cannot vanish silently.
+Call :meth:`Event.defuse` to opt out for fire-and-forget failures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupted",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+#: Calendar priority for "urgent" events (resource bookkeeping) — processed
+#: before normal events scheduled at the same timestamp.
+URGENT = 0
+#: Default calendar priority.
+NORMAL = 1
+
+_PENDING = object()  # sentinel: event not yet triggered
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries the value supplied by the interrupter.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle::
+
+        e = sim.event()     # pending
+        e.succeed(value)    # triggered (scheduled on the calendar)
+        ...                 # simulator pops it: processed, callbacks run
+
+    Attributes
+    ----------
+    callbacks:
+        List of ``fn(event)`` invoked exactly once when the event is
+        processed.  ``None`` after processing.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the calendar."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, *, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, *, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is thrown into every waiting process; if none exists
+        it re-raises from :meth:`Simulator.run` unless :meth:`defuse` was
+        called.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the state of ``event`` onto this event (callback helper)."""
+        if self._value is not _PENDING:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.sim._schedule(self, 0.0, NORMAL)
+
+    def defuse(self) -> "Event":
+        """Mark a potential failure of this event as intentionally ignored."""
+        self._defused = True
+        return self
+
+    # -- composition -------------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(self)`` when processed; immediately if already processed."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "pending"
+            if not self.triggered
+            else ("processed" if self.processed else "triggered")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after construction."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay, NORMAL)
+
+
+class Process(Event):
+    """Wraps a generator; fires (as an Event) when the generator returns.
+
+    The generator must yield :class:`Event` instances.  The value sent back
+    into the generator is the event's value; failed events are thrown in as
+    exceptions so processes can ``try/except`` around ``yield``.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume at the current time via an already-successful
+        # initialisation event.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init, 0.0, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        The event the process is waiting on remains pending; the process
+        may re-wait on it after handling the interrupt.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} already terminated")
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_evt = Event(self.sim)
+        interrupt_evt._ok = False
+        interrupt_evt._value = Interrupted(cause)
+        interrupt_evt._defused = True
+        interrupt_evt.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_evt, 0.0, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        # Detach from whatever we were officially waiting on (interrupt path).
+        if self._waiting_on is not None and self._waiting_on is not event:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)  # type: ignore[union-attr]
+            except (ValueError, AttributeError):
+                pass
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            relay = Event(self.sim)
+            relay._ok = target._ok
+            relay._value = target._value
+            if not target._ok:
+                relay._defused = True
+            relay.callbacks.append(self._resume)
+            self.sim._schedule(relay, 0.0, URGENT)
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._count = 0
+        for e in self.events:
+            if e.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for e in self.events:
+            e.add_callback(self._check)
+
+    def _matched(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._matched())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every component event has fired; value maps event→value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when the first component event fires; value maps event→value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Simulator:
+    """The event calendar and virtual clock.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the clock (seconds by convention throughout this
+        repository).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Process | None = None
+        self._event_count = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._event_count
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """A new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Launch ``generator`` as a process; returns its join event."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        time, _prio, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("time went backwards")
+        self._now = time
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the calendar drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (raising its exception if it failed).
+        """
+        stop_at = float("inf")
+        stop_event: Event | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self._queue[0][0] > stop_at:
+                self._now = stop_at
+                break
+            self.step()
+        else:
+            if stop_at != float("inf"):
+                self._now = stop_at
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "simulation ended before the awaited event fired "
+                    f"(now={self._now})"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        return None

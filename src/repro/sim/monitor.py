@@ -1,0 +1,164 @@
+"""Statistics collection for simulation runs.
+
+Three collectors cover everything the experiment harness reports:
+
+* :class:`Counter` — monotonically increasing named tallies (bytes shuffled,
+  cache hits/misses, spills, packets).
+* :class:`Monitor` — a time-stamped series of samples with summary
+  statistics (queue lengths, buffer levels).
+* :class:`UtilizationTracker` — integrates a piecewise-constant "busy"
+  level over time to report utilisation of a device (disk, NIC, CPU).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any
+
+from repro.sim.core import Simulator
+
+__all__ = ["Counter", "Monitor", "UtilizationTracker"]
+
+
+class Counter:
+    """A bag of named monotone tallies."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def merge(self, other: "Counter") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({dict(self._values)!r})"
+
+
+class Monitor:
+    """A time-stamped sample series.
+
+    ``record`` appends ``(sim.now, value)``.  Summary statistics treat the
+    series as point samples (mean/min/max) and additionally expose a
+    time-weighted mean for piecewise-constant signals.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.times.append(self.sim.now)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            return math.nan
+        return sum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def time_weighted_mean(self, until: float | None = None) -> float:
+        """Mean of the signal assuming it holds each value until the next
+        sample (and until ``until`` — default: current time — for the last).
+        """
+        if not self.values:
+            return math.nan
+        end = self.sim.now if until is None else until
+        total = 0.0
+        span = end - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        for i, value in enumerate(self.values):
+            t0 = self.times[i]
+            t1 = self.times[i + 1] if i + 1 < len(self.times) else end
+            total += value * max(0.0, t1 - t0)
+        return total / span
+
+
+class UtilizationTracker:
+    """Tracks busy/idle intervals of a device with multiplicity.
+
+    ``acquire``/``release`` bump a busy counter; utilisation is the fraction
+    of elapsed time with the counter > 0, and ``busy_time`` integrates the
+    counter (so a 2-wide device busy on both lanes accrues 2x).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._level = 0
+        self._last_change = sim.now
+        self._start = sim.now
+        self._busy_integral = 0.0
+        self._nonidle_time = 0.0
+
+    def _advance(self) -> None:
+        dt = self.sim.now - self._last_change
+        if dt > 0:
+            self._busy_integral += self._level * dt
+            if self._level > 0:
+                self._nonidle_time += dt
+        self._last_change = self.sim.now
+
+    def acquire(self) -> None:
+        self._advance()
+        self._level += 1
+
+    def release(self) -> None:
+        self._advance()
+        if self._level <= 0:
+            raise ValueError(f"release() without acquire() on {self.name!r}")
+        self._level -= 1
+
+    @property
+    def busy_time(self) -> float:
+        """Integral of the busy level over time."""
+        self._advance()
+        return self._busy_integral
+
+    def utilization(self) -> float:
+        """Fraction of elapsed wall-clock during which the device was busy."""
+        self._advance()
+        elapsed = self.sim.now - self._start
+        if elapsed <= 0:
+            return 0.0
+        return self._nonidle_time / elapsed
+
+
+def summarize(values: list[float]) -> dict[str, Any]:
+    """Summary statistics helper used by experiment reports."""
+    if not values:
+        return {"n": 0, "mean": math.nan, "min": math.nan, "max": math.nan}
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    median = ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    return {
+        "n": n,
+        "mean": sum(ordered) / n,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "median": median,
+    }

@@ -1,0 +1,29 @@
+"""Storage substrate: disk device models and a node-local filesystem.
+
+Models the paper's three storage configurations — a single 160 GB HDD per
+compute node, dual 1 TB HDDs on the storage nodes, and SATA SSDs — with a
+serial per-device request queue, stream-switch seek penalties for spinning
+disks, and a round-robin multi-disk local filesystem that mirrors how
+Hadoop spreads ``mapred.local.dir`` / ``dfs.data.dir`` across drives.
+"""
+
+from repro.storage.disk import (
+    HDD_1TB,
+    HDD_160GB,
+    SSD_SATA,
+    DiskDevice,
+    DiskSpec,
+    disk_by_name,
+)
+from repro.storage.localfs import LocalFile, LocalFileSystem
+
+__all__ = [
+    "DiskDevice",
+    "DiskSpec",
+    "HDD_160GB",
+    "HDD_1TB",
+    "LocalFile",
+    "LocalFileSystem",
+    "SSD_SATA",
+    "disk_by_name",
+]

@@ -1,0 +1,152 @@
+"""Block-device models with a serial request queue.
+
+Each :class:`DiskDevice` services one request at a time from a priority
+queue (the elevator is abstracted to a *stream-switch* seek penalty: when
+the device alternates between independent sequential streams — a map task
+spilling while a servlet reads another map's output — every switch costs a
+seek + half-rotation, which is what collapses HDD throughput under
+concurrent Hadoop I/O; SSDs make the switch nearly free).
+
+Callers submit requests already chunked (the local filesystem chunks at a
+few MB) so that concurrent streams interleave at realistic granularity
+instead of convoying behind whole-file operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.sim.core import Event, Simulator
+from repro.sim.monitor import UtilizationTracker
+from repro.sim.resources import PriorityStore
+
+__all__ = [
+    "DiskDevice",
+    "DiskSpec",
+    "HDD_160GB",
+    "HDD_1TB",
+    "SSD_SATA",
+    "disk_by_name",
+]
+
+MB = 1e6
+MS = 1e-3
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Physical characteristics of a drive."""
+
+    name: str
+    #: Sequential read bandwidth, bytes/s.
+    read_bw: float
+    #: Sequential write bandwidth, bytes/s.
+    write_bw: float
+    #: Average seek + rotational latency paid on a stream switch, seconds.
+    seek_time: float
+    #: Fixed per-request overhead (controller/command), seconds.
+    per_request_overhead: float
+
+    def scaled(self, **overrides: Any) -> "DiskSpec":
+        return replace(self, **overrides)
+
+
+# Presets for the paper's testbed (§IV-A).  Era-typical sequential rates:
+# the compute nodes' 160 GB 7.2k SATA drives sustain ~110/95 MB/s; the
+# storage nodes' 1 TB drives ~135/125 MB/s; SATA-2/3 SSDs of 2012 read
+# ~480 MB/s and write ~330 MB/s with sub-100 µs access latency.
+HDD_160GB = DiskSpec("hdd-160gb", 110 * MB, 95 * MB, 8.5 * MS, 0.25 * MS)
+HDD_1TB = DiskSpec("hdd-1tb", 135 * MB, 125 * MB, 8.0 * MS, 0.25 * MS)
+SSD_SATA = DiskSpec("ssd-sata", 480 * MB, 330 * MB, 0.08 * MS, 0.04 * MS)
+
+_PRESETS = {d.name: d for d in (HDD_160GB, HDD_1TB, SSD_SATA)}
+_ALIASES = {"hdd": HDD_160GB, "hdd-storage": HDD_1TB, "ssd": SSD_SATA}
+
+
+def disk_by_name(name: str) -> DiskSpec:
+    spec = _PRESETS.get(name) or _ALIASES.get(name.lower())
+    if spec is None:
+        raise KeyError(f"unknown disk {name!r}; known: {sorted(_PRESETS)}")
+    return spec
+
+
+@dataclass(order=True)
+class _DiskRequest:
+    # Only ``priority`` participates in ordering; PriorityStore adds a FIFO
+    # tiebreak for equal priorities.
+    priority: float
+    stream_id: str = field(default="", compare=False)
+    nbytes: float = field(default=0.0, compare=False)
+    kind: str = field(default="read", compare=False)  # "read" | "write"
+    done: Event | None = field(default=None, compare=False)
+
+
+class DiskDevice:
+    """A single drive with a serial, priority-ordered request queue."""
+
+    def __init__(self, sim: Simulator, spec: DiskSpec, name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self._queue: PriorityStore = PriorityStore(sim, name=f"{self.name}.q")
+        self._last_stream: str | None = None
+        self.utilization = UtilizationTracker(sim, self.name)
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.seeks = 0
+        self.requests = 0
+        sim.process(self._server(), name=f"disk:{self.name}")
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(
+        self, kind: str, nbytes: float, stream_id: str, priority: float = 0.0
+    ) -> Event:
+        """Enqueue one I/O request; the event fires at completion."""
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+        if nbytes < 0:
+            raise ValueError(f"negative request size {nbytes}")
+        done = Event(self.sim)
+        req = _DiskRequest(
+            priority=priority, stream_id=stream_id, nbytes=nbytes, kind=kind, done=done
+        )
+        self._queue.put(req)
+        return done
+
+    def read(self, nbytes: float, stream_id: str, priority: float = 0.0) -> Event:
+        return self.submit("read", nbytes, stream_id, priority)
+
+    def write(self, nbytes: float, stream_id: str, priority: float = 0.0) -> Event:
+        return self.submit("write", nbytes, stream_id, priority)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- internals ----------------------------------------------------------
+
+    def _service_time(self, req: _DiskRequest) -> float:
+        bw = self.spec.read_bw if req.kind == "read" else self.spec.write_bw
+        t = self.spec.per_request_overhead + req.nbytes / bw
+        if req.stream_id != self._last_stream:
+            t += self.spec.seek_time
+            self.seeks += 1
+            self._last_stream = req.stream_id
+        return t
+
+    def _server(self) -> Generator[Event, Any, None]:
+        while True:
+            req: _DiskRequest = yield self._queue.get()
+            self.utilization.acquire()
+            yield self.sim.timeout(self._service_time(req))
+            self.utilization.release()
+            self.requests += 1
+            if req.kind == "read":
+                self.bytes_read += req.nbytes
+            else:
+                self.bytes_written += req.nbytes
+            assert req.done is not None
+            req.done.succeed(req.nbytes)

@@ -1,0 +1,152 @@
+"""Node-local filesystem over one or more disks.
+
+Hadoop spreads ``mapred.local.dir`` and ``dfs.data.dir`` across all
+configured drives; new files land on drives round-robin, which is how a
+second HDD nearly doubles usable intermediate-data bandwidth (paper §IV-B).
+This module reproduces that behaviour: a :class:`LocalFileSystem` owns the
+node's :class:`~repro.storage.disk.DiskDevice` s, assigns each new
+:class:`LocalFile` to a drive, and chunks reads/writes into a few-MB disk
+requests so concurrent streams interleave realistically.
+
+All I/O methods are generators to be driven with ``yield from`` inside a
+simulation process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Generator
+from typing import Any
+
+from repro.sim.core import Event, Simulator
+from repro.storage.disk import DiskDevice, DiskSpec
+
+__all__ = ["LocalFile", "LocalFileSystem"]
+
+#: Default I/O chunk: matches Hadoop-era buffered-stream behaviour and keeps
+#: the event count tractable (one event per ~4 MB, not per 64 KB packet).
+DEFAULT_CHUNK = 4 * 1024 * 1024
+
+
+class LocalFile:
+    """A file resident on exactly one local drive."""
+
+    __slots__ = ("name", "disk", "size", "deleted")
+
+    def __init__(self, name: str, disk: DiskDevice):
+        self.name = name
+        self.disk = disk
+        self.size = 0.0
+        self.deleted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LocalFile {self.name} {self.size/1e6:.1f} MB on {self.disk.name}>"
+
+
+class LocalFileSystem:
+    """Round-robin multi-disk local storage for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk_specs: list[DiskSpec],
+        node_name: str = "node",
+        chunk_bytes: int = DEFAULT_CHUNK,
+    ):
+        if not disk_specs:
+            raise ValueError("a node needs at least one disk")
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        self.sim = sim
+        self.node_name = node_name
+        self.chunk_bytes = chunk_bytes
+        self.disks = [
+            DiskDevice(sim, spec, name=f"{node_name}.disk{i}")
+            for i, spec in enumerate(disk_specs)
+        ]
+        self._rr = itertools.cycle(range(len(self.disks)))
+        self._files: dict[str, LocalFile] = {}
+
+    # -- namespace ------------------------------------------------------
+
+    def create(self, name: str) -> LocalFile:
+        """Create a file on the next drive in round-robin order."""
+        if name in self._files:
+            raise FileExistsError(f"{self.node_name}: {name!r} already exists")
+        f = LocalFile(name, self.disks[next(self._rr)])
+        self._files[name] = f
+        return f
+
+    def open(self, name: str) -> LocalFile:
+        f = self._files.get(name)
+        if f is None:
+            raise FileNotFoundError(f"{self.node_name}: no file {name!r}")
+        return f
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        f = self._files.pop(name, None)
+        if f is not None:
+            f.deleted = True
+
+    def rename(self, old: str, new: str) -> LocalFile:
+        """Rename a file in place (no I/O; it stays on its drive)."""
+        f = self.open(old)
+        if new in self._files:
+            raise FileExistsError(f"{self.node_name}: {new!r} already exists")
+        del self._files[old]
+        f.name = new
+        self._files[new] = f
+        return f
+
+    # -- I/O --------------------------------------------------------------
+
+    def write(
+        self,
+        f: LocalFile,
+        nbytes: float,
+        stream_id: str | None = None,
+        priority: float = 0.0,
+    ) -> Generator[Event, Any, float]:
+        """Append ``nbytes`` to ``f`` (chunked); returns elapsed time."""
+        start = self.sim.now
+        stream = stream_id or f.name
+        remaining = float(nbytes)
+        while remaining > 0:
+            chunk = min(remaining, self.chunk_bytes)
+            yield f.disk.write(chunk, stream, priority)
+            remaining -= chunk
+        f.size += nbytes
+        return self.sim.now - start
+
+    def read(
+        self,
+        f: LocalFile,
+        nbytes: float | None = None,
+        stream_id: str | None = None,
+        priority: float = 0.0,
+    ) -> Generator[Event, Any, float]:
+        """Read ``nbytes`` (default: whole file) from ``f``; returns elapsed."""
+        start = self.sim.now
+        stream = stream_id or f.name
+        remaining = float(f.size if nbytes is None else nbytes)
+        while remaining > 0:
+            chunk = min(remaining, self.chunk_bytes)
+            yield f.disk.read(chunk, stream, priority)
+            remaining -= chunk
+        return self.sim.now - start
+
+    # -- stats --------------------------------------------------------------
+
+    def bytes_read(self) -> float:
+        return sum(d.bytes_read for d in self.disks)
+
+    def bytes_written(self) -> float:
+        return sum(d.bytes_written for d in self.disks)
+
+    def utilization(self) -> float:
+        if not self.disks:
+            return 0.0
+        return sum(d.utilization.utilization() for d in self.disks) / len(self.disks)

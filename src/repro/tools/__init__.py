@@ -1,0 +1,5 @@
+"""Analysis utilities: task timelines and phase breakdowns."""
+
+from repro.tools.timeline import TaskSpan, phase_breakdown, render_gantt
+
+__all__ = ["TaskSpan", "phase_breakdown", "render_gantt"]

@@ -1,0 +1,101 @@
+"""Task timelines: recording and ASCII rendering.
+
+The simulator records a :class:`TaskSpan` per task attempt (maps, reduce
+attempts).  :func:`render_gantt` draws the overlap structure the paper's
+Figure 3 argues about — the vanilla reduce barrier vs. OSU-IB's
+shuffle/merge/reduce pipelining is directly visible in the reduce rows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["TaskSpan", "phase_breakdown", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One task attempt's lifetime on a node."""
+
+    kind: str  # "map" | "reduce"
+    task_id: int
+    attempt: int
+    node: str
+    start: float
+    end: float
+    ok: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def label(self) -> str:
+        suffix = "" if self.ok else "!"
+        return f"{self.kind[0]}{self.task_id}.{self.attempt}{suffix}"
+
+
+def phase_breakdown(spans: list[TaskSpan]) -> dict[str, float]:
+    """Aggregate phase statistics from recorded spans."""
+    out: dict[str, float] = {}
+    for kind in ("map", "reduce"):
+        mine = [s for s in spans if s.kind == kind]
+        if not mine:
+            continue
+        out[f"{kind}.first_start"] = min(s.start for s in mine)
+        out[f"{kind}.last_end"] = max(s.end for s in mine)
+        out[f"{kind}.busy_task_seconds"] = sum(s.duration for s in mine)
+        out[f"{kind}.attempts"] = float(len(mine))
+        out[f"{kind}.failed_attempts"] = float(sum(1 for s in mine if not s.ok))
+    if "map.last_end" in out and "reduce.last_end" in out:
+        out["overlap_seconds"] = max(
+            0.0, out["map.last_end"] - out["reduce.first_start"]
+        )
+    return out
+
+
+def render_gantt(
+    spans: list[TaskSpan],
+    width: int = 100,
+    max_rows_per_node: int = 12,
+) -> str:
+    """ASCII Gantt chart: one row per (node, slot lane), time left-to-right.
+
+    Map attempts render as ``m``, reduce attempts as ``R``, failed
+    attempts as ``x``.
+    """
+    if not spans:
+        return "(no task spans recorded)\n"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    span = max(t1 - t0, 1e-9)
+    scale = (width - 1) / span
+
+    by_node: dict[str, list[TaskSpan]] = defaultdict(list)
+    for s in spans:
+        by_node[s.node].append(s)
+
+    lines = [f"time: {t0:.0f}s .. {t1:.0f}s  ({span:.0f}s, 1 col = {span / width:.1f}s)"]
+    for node in sorted(by_node):
+        lines.append(f"{node}:")
+        # Greedy lane assignment (like slot occupancy).
+        lanes: list[list[TaskSpan]] = []
+        for s in sorted(by_node[node], key=lambda s: s.start):
+            for lane in lanes:
+                if lane[-1].end <= s.start + 1e-9:
+                    lane.append(s)
+                    break
+            else:
+                lanes.append([s])
+        for lane in lanes[:max_rows_per_node]:
+            row = [" "] * width
+            for s in lane:
+                a = int((s.start - t0) * scale)
+                b = max(a + 1, int((s.end - t0) * scale))
+                mark = "x" if not s.ok else ("m" if s.kind == "map" else "R")
+                for i in range(a, min(b, width)):
+                    row[i] = mark
+            lines.append("  |" + "".join(row))
+        if len(lanes) > max_rows_per_node:
+            lines.append(f"  (+{len(lanes) - max_rows_per_node} more lanes)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,15 @@
+"""Unified Communication Runtime (UCR) analogue.
+
+The paper shuttles all RDMA shuffle traffic through UCR, OSU's endpoint-
+based native communication library (§II-D): Java code reaches it through a
+JNI adaptive interface, connections are endpoint pairs (analogous to
+sockets but OS-bypassed), and data moves with verbs send/recv + RDMA.
+
+This package models UCR's runtime behaviour on the simulated fabric:
+endpoint establishment cost, per-message verbs accounting, and JNI
+crossing overhead, with per-endpoint statistics.
+"""
+
+from repro.ucr.runtime import UCREndpoint, UCRRuntime
+
+__all__ = ["UCREndpoint", "UCRRuntime"]

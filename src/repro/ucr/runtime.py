@@ -1,0 +1,98 @@
+"""UCR endpoints over the verbs transport.
+
+An endpoint pair is pinned to a (local node, remote node) connection.  The
+first use pays queue-pair bring-up plus the endpoint information exchange
+(§III-B.1: "Initially, RDMACopier sends end point information to
+RDMAListener in TaskTracker to establish the connection").  Subsequent
+messages pay only verbs-level costs, plus a small JNI crossing charge per
+call — the paper's Java code reaches UCR through the JNI Adaptive
+Interface, which costs a fixed few microseconds per boundary crossing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.cluster.node import Node
+from repro.network.transports import IB_VERBS, Transport, TransportSpec
+from repro.sim.core import Event, Simulator
+
+__all__ = ["UCREndpoint", "UCRRuntime"]
+
+#: Per-call JNI boundary crossing cost, seconds (Java -> native -> Java).
+JNI_CROSSING = 1.0e-6
+
+
+class UCREndpoint:
+    """One established connection between two nodes."""
+
+    __slots__ = ("runtime", "local", "remote", "messages_sent", "bytes_sent")
+
+    def __init__(self, runtime: "UCRRuntime", local: Node, remote: Node):
+        self.runtime = runtime
+        self.local = local
+        self.remote = remote
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def send(
+        self, nbytes: float, messages: int = 1
+    ) -> Generator[Event, Any, float]:
+        """Transfer ``nbytes`` to the remote side (``yield from``)."""
+        sim = self.runtime.sim
+        start = sim.now
+        if JNI_CROSSING > 0:
+            yield sim.timeout(JNI_CROSSING)
+        elapsed = yield from self.runtime.transport.send(
+            self.local, self.remote, nbytes, messages
+        )
+        self.messages_sent += messages
+        self.bytes_sent += nbytes
+        return sim.now - start
+
+    def reverse(self) -> "UCREndpoint":
+        """The endpoint for traffic in the other direction."""
+        return self.runtime.endpoint(self.remote, self.local)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UCREndpoint {self.local.name}->{self.remote.name}>"
+
+
+class UCRRuntime:
+    """Endpoint registry + connection establishment for one cluster."""
+
+    def __init__(self, sim: Simulator, flows: Any, spec: TransportSpec = IB_VERBS):
+        self.sim = sim
+        self.spec = spec
+        self.transport = Transport(sim, flows, spec)
+        self._endpoints: dict[tuple[str, str], UCREndpoint] = {}
+        self.connections_established = 0
+
+    def endpoint(self, local: Node, remote: Node) -> UCREndpoint:
+        """The (already-connected) endpoint for this direction."""
+        key = (local.name, remote.name)
+        ep = self._endpoints.get(key)
+        if ep is None:
+            raise KeyError(
+                f"no connection {key}; call connect() first (endpoint exchange)"
+            )
+        return ep
+
+    def is_connected(self, local: Node, remote: Node) -> bool:
+        return (local.name, remote.name) in self._endpoints
+
+    def connect(
+        self, local: Node, remote: Node
+    ) -> Generator[Event, Any, UCREndpoint]:
+        """Establish a bidirectional endpoint pair (idempotent)."""
+        key = (local.name, remote.name)
+        ep = self._endpoints.get(key)
+        if ep is not None:
+            return ep
+        yield from self.transport.connect(local, remote)
+        ep = UCREndpoint(self, local, remote)
+        self._endpoints[key] = ep
+        self._endpoints[(remote.name, local.name)] = UCREndpoint(self, remote, local)
+        self.connections_established += 1
+        return ep

@@ -1,0 +1,22 @@
+"""Benchmark workloads: TeraSort and Sort, with their data generators.
+
+* :mod:`repro.workloads.records` — record-size models (the statistical
+  contract between generators, packetizers, and the simulator).
+* :mod:`repro.workloads.teragen` — TeraGen/TeraSort/TeraValidate
+  (fixed 100-byte records).
+* :mod:`repro.workloads.randomwriter` — RandomWriter/Sort (variable-size
+  records, combined KV size up to ~21 KB).
+"""
+
+from repro.workloads.randomwriter import RANDOMWRITER_RECORDS, random_writer
+from repro.workloads.records import RecordModel
+from repro.workloads.teragen import TERASORT_RECORDS, teragen, teravalidate
+
+__all__ = [
+    "RANDOMWRITER_RECORDS",
+    "RecordModel",
+    "TERASORT_RECORDS",
+    "random_writer",
+    "teragen",
+    "teravalidate",
+]

@@ -1,0 +1,26 @@
+"""RandomWriter / Sort benchmark input (§II-A.2, §IV-C).
+
+RandomWriter emits random-sized key-value pairs: keys of 10..1000 bytes and
+values of 0..20000 bytes (the Hadoop tool's defaults), so "the combined
+length of key-value pairs can be as large as 20,000 bytes" as the paper
+notes — this size variability is exactly what breaks Hadoop-A's fixed
+pairs-per-packet shuffle in Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.records import RecordModel
+
+__all__ = ["RANDOMWRITER_RECORDS", "random_writer"]
+
+#: RandomWriter defaults: key in [10, 1000] B, value in [0, 20000] B.
+RANDOMWRITER_RECORDS = RecordModel(
+    name="randomwriter", min_key=10, max_key=1000, min_value=0, max_value=20000
+)
+
+
+def random_writer(rng: np.random.Generator, n_pairs: int) -> list[tuple[bytes, bytes]]:
+    """Generate ``n_pairs`` RandomWriter-style records."""
+    return RANDOMWRITER_RECORDS.generate(rng, n_pairs)

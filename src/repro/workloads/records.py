@@ -1,0 +1,99 @@
+"""Record-size models.
+
+A :class:`RecordModel` is the statistical contract between the data
+generators (which emit real records obeying it), the packetizers (whose
+:meth:`~repro.core.packets.Packetizer.plan` consumes its aggregates), and
+the simulator (which converts segment bytes to pair counts with it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RecordModel"]
+
+#: Serialization overhead per record (two length fields), matching
+#: :func:`repro.core.packets.record_size`.
+RECORD_OVERHEAD = 8
+
+
+@dataclass(frozen=True)
+class RecordModel:
+    """Key/value size distribution (uniform between min and max)."""
+
+    name: str
+    min_key: int
+    max_key: int
+    min_value: int
+    max_value: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.min_key <= self.max_key):
+            raise ValueError("bad key size range")
+        if not (0 <= self.min_value <= self.max_value):
+            raise ValueError("bad value size range")
+
+    # -- aggregates consumed by packet plans and the simulator ------------
+
+    @property
+    def avg_key(self) -> float:
+        return (self.min_key + self.max_key) / 2.0
+
+    @property
+    def avg_value(self) -> float:
+        return (self.min_value + self.max_value) / 2.0
+
+    @property
+    def avg_pair_bytes(self) -> float:
+        """Mean serialized record size."""
+        return self.avg_key + self.avg_value + RECORD_OVERHEAD
+
+    @property
+    def max_pair_bytes(self) -> float:
+        """Largest serialized record the model can produce."""
+        return self.max_key + self.max_value + RECORD_OVERHEAD
+
+    @property
+    def fixed_size(self) -> bool:
+        return self.min_key == self.max_key and self.min_value == self.max_value
+
+    def pairs_in(self, nbytes: float) -> int:
+        """Expected number of records in ``nbytes`` of serialized data."""
+        if nbytes <= 0:
+            return 0
+        return max(1, int(round(nbytes / self.avg_pair_bytes)))
+
+    # -- real data ---------------------------------------------------------
+
+    def generate(self, rng: np.random.Generator, n: int) -> list[tuple[bytes, bytes]]:
+        """``n`` real records with uniformly random keys/sizes.
+
+        Keys are random bytes, so sorting them gives the uniform-quantile
+        distribution the simulator's :class:`~repro.core.virtualmerge.
+        VirtualMerger` assumes.
+        """
+        if n < 0:
+            raise ValueError(f"negative record count {n}")
+        key_sizes = (
+            np.full(n, self.min_key, dtype=np.int64)
+            if self.min_key == self.max_key
+            else rng.integers(self.min_key, self.max_key + 1, size=n)
+        )
+        value_sizes = (
+            np.full(n, self.min_value, dtype=np.int64)
+            if self.min_value == self.max_value
+            else rng.integers(self.min_value, self.max_value + 1, size=n)
+        )
+        # One vectorized draw for all key bytes (values carry no information
+        # the benchmarks use, so a compact filler keeps memory reasonable).
+        total_key_bytes = int(key_sizes.sum())
+        key_blob = rng.integers(0, 256, size=total_key_bytes, dtype=np.uint8).tobytes()
+        records: list[tuple[bytes, bytes]] = []
+        pos = 0
+        for ks, vs in zip(key_sizes, value_sizes):
+            key = key_blob[pos : pos + int(ks)]
+            pos += int(ks)
+            records.append((key, b"\x00" * int(vs)))
+        return records

@@ -1,0 +1,72 @@
+"""TeraGen / TeraSort / TeraValidate (§II-A.1).
+
+TeraSort records are fixed-size: a 10-byte key and a 90-byte value (the
+benchmark's canonical 100-byte rows).  TeraGen produces rows with random
+keys; TeraValidate checks the output is globally sorted and complete.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.workloads.records import RecordModel
+
+__all__ = ["TERASORT_RECORDS", "teragen", "teravalidate"]
+
+#: The TeraSort record model: 10-byte key + 90-byte value, fixed.
+TERASORT_RECORDS = RecordModel(
+    name="terasort", min_key=10, max_key=10, min_value=90, max_value=90
+)
+
+
+def teragen(rng: np.random.Generator, n_rows: int) -> list[tuple[bytes, bytes]]:
+    """Generate ``n_rows`` TeraSort records with random 10-byte keys."""
+    return TERASORT_RECORDS.generate(rng, n_rows)
+
+
+def teravalidate(
+    outputs: Sequence[Sequence[tuple[bytes, bytes]]],
+    expected_rows: int | None = None,
+) -> dict:
+    """Validate TeraSort output partitions.
+
+    ``outputs`` is the ordered list of reducer output runs.  Checks:
+
+    * every partition is internally sorted,
+    * partitions are globally ordered (last key of part i <= first key of
+      part i+1 — guaranteed by range partitioning),
+    * total row count matches ``expected_rows`` when given.
+
+    Returns a report dict with ``valid`` plus diagnostics; mirrors the
+    Hadoop TeraValidate tool's checksum-style pass/fail contract.
+    """
+    total = 0
+    previous_last: bytes | None = None
+    for part_index, part in enumerate(outputs):
+        last: bytes | None = None
+        for key, _value in part:
+            if last is not None and key < last:
+                return {
+                    "valid": False,
+                    "error": f"partition {part_index} unsorted at row {total}",
+                    "rows": total,
+                }
+            last = key
+            total += 1
+        if part and previous_last is not None and part[0][0] < previous_last:
+            return {
+                "valid": False,
+                "error": f"partition {part_index} overlaps previous partition",
+                "rows": total,
+            }
+        if part:
+            previous_last = part[-1][0]
+    if expected_rows is not None and total != expected_rows:
+        return {
+            "valid": False,
+            "error": f"row count {total} != expected {expected_rows}",
+            "rows": total,
+        }
+    return {"valid": True, "rows": total}

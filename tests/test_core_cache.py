@@ -1,0 +1,164 @@
+"""Tests for the PrefetchCache (§III-B.3 semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import PrefetchCache
+
+
+def test_insert_and_hit():
+    c = PrefetchCache(1000)
+    assert c.insert("a", 300)
+    assert c.hit("a")
+    assert c.stats.hits == 1 and c.stats.misses == 0
+
+
+def test_miss_recorded():
+    c = PrefetchCache(1000)
+    assert not c.hit("ghost", nbytes_hint=50)
+    assert c.stats.misses == 1
+    assert c.stats.bytes_missed == 50
+
+
+def test_capacity_enforced():
+    c = PrefetchCache(100)
+    assert c.insert("a", 60)
+    assert c.insert("b", 40)
+    assert c.used_bytes == 100
+    assert c.free_bytes == 0
+
+
+def test_oversized_segment_rejected():
+    c = PrefetchCache(100)
+    assert not c.insert("big", 200)
+    assert c.stats.rejected == 1
+
+
+def test_zero_capacity_cache_rejects_everything():
+    c = PrefetchCache(0)
+    assert not c.insert("a", 1)
+    assert not c.hit("a")
+
+
+def test_lru_eviction_order():
+    c = PrefetchCache(100)
+    c.insert("old", 50)
+    c.insert("new", 50)
+    c.lookup("old")  # refresh old's recency
+    assert c.insert("third", 50)  # must evict "new" (least recent)
+    assert c.hit("old")
+    assert "new" not in c
+    assert "third" in c
+
+
+def test_demand_promotion_on_miss():
+    """A missed segment is inserted later with elevated priority and then
+    survives eviction pressure from base-priority inserts."""
+    c = PrefetchCache(100)
+    assert not c.hit("wanted")  # records demand
+    assert c.insert("wanted", 60)  # carries DEMAND_BOOST priority
+    assert c.stats.promotions == 1
+    # Base-priority insert cannot displace the promoted resident.
+    assert not c.insert("filler", 60)
+    assert c.hit("wanted")
+
+
+def test_demand_explicit():
+    c = PrefetchCache(100)
+    c.demand("seg")
+    c.insert("seg", 10)
+    assert c.stats.promotions == 1
+
+
+def test_higher_priority_insert_evicts_lower():
+    c = PrefetchCache(100)
+    c.insert("low", 80, priority=0)
+    c.demand("vip")
+    assert c.insert("vip", 80)
+    assert "low" not in c and "vip" in c
+    assert c.stats.evictions == 1
+
+
+def test_pinned_entry_not_evicted():
+    c = PrefetchCache(100)
+    c.insert("pinned", 80)
+    c.pin("pinned")
+    c.demand("vip")
+    assert not c.insert("vip", 80)  # nothing evictable
+    c.unpin("pinned")
+    assert c.insert("vip", 80)
+
+
+def test_explicit_evict():
+    c = PrefetchCache(100)
+    c.insert("a", 50)
+    assert c.evict("a")
+    assert not c.evict("a")
+    assert c.used_bytes == 0
+
+
+def test_reinsert_refreshes_not_duplicates():
+    c = PrefetchCache(100)
+    c.insert("a", 50)
+    assert c.insert("a", 50)  # refresh
+    assert c.used_bytes == 50
+    assert len(c) == 1
+
+
+def test_payload_roundtrip():
+    c = PrefetchCache(100)
+    c.insert("a", 10, payload=[1, 2, 3])
+    assert c.lookup("a") == [1, 2, 3]
+
+
+def test_hit_rate():
+    c = PrefetchCache(100)
+    c.insert("a", 10)
+    c.hit("a")
+    c.hit("b")
+    assert c.stats.hit_rate() == pytest.approx(0.5)
+    assert c.stats.lookups == 2
+
+
+def test_negative_sizes_rejected():
+    c = PrefetchCache(100)
+    with pytest.raises(ValueError):
+        c.insert("a", -1)
+    with pytest.raises(ValueError):
+        PrefetchCache(-5)
+
+
+# ---------------------------------------------------------------------------
+# Invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "lookup", "evict", "demand"]),
+            st.integers(min_value=0, max_value=20),  # segment id
+            st.integers(min_value=0, max_value=400),  # size
+        ),
+        max_size=200,
+    ),
+    capacity=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_cache_never_exceeds_capacity(ops, capacity):
+    c = PrefetchCache(capacity)
+    sizes: dict[int, int] = {}
+    for op, seg, size in ops:
+        if op == "insert":
+            size = sizes.setdefault(seg, size)  # segment sizes are immutable
+            c.insert(seg, size)
+        elif op == "lookup":
+            c.lookup(seg, nbytes_hint=size)
+        elif op == "evict":
+            c.evict(seg)
+        else:
+            c.demand(seg)
+        assert 0 <= c.used_bytes <= capacity + 1e-9
+        # used_bytes is consistent with the resident set
+        assert c.used_bytes == sum(sizes[s] for s in range(21) if s in c)

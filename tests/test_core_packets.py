@@ -1,0 +1,189 @@
+"""Tests for the three packetisation policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packets import (
+    FixedPairsPacketizer,
+    SizeAwarePacketizer,
+    WholeFilePacketizer,
+    record_size,
+    validate_packets,
+)
+
+
+def recs(*sizes):
+    """Records with given value sizes (key fixed 4 bytes)."""
+    return [(b"kkkk", b"v" * s) for s in sizes]
+
+
+# ---------------------------------------------------------------------------
+# record_size
+# ---------------------------------------------------------------------------
+
+
+def test_record_size_counts_key_value_and_overhead():
+    assert record_size((b"abc", b"de")) == 3 + 2 + 8
+
+
+# ---------------------------------------------------------------------------
+# SizeAwarePacketizer (OSU-IB)
+# ---------------------------------------------------------------------------
+
+
+def test_size_aware_respects_budget():
+    p = SizeAwarePacketizer(packet_bytes=100)
+    packets = list(p.packets(recs(20, 20, 20, 20)))  # each record 32 B
+    for pkt in packets:
+        assert sum(record_size(r) for r in pkt) <= 100
+    assert validate_packets(packets, recs(20, 20, 20, 20))
+
+
+def test_size_aware_oversized_record_travels_alone():
+    p = SizeAwarePacketizer(packet_bytes=50)
+    packets = list(p.packets(recs(10, 500, 10)))
+    assert len(packets) == 3
+    assert len(packets[1]) == 1  # the big one is alone
+
+
+def test_size_aware_single_packet_when_all_fit():
+    p = SizeAwarePacketizer(packet_bytes=10_000)
+    packets = list(p.packets(recs(5, 5, 5)))
+    assert len(packets) == 1
+
+
+def test_size_aware_empty_input():
+    p = SizeAwarePacketizer()
+    assert list(p.packets([])) == []
+
+
+def test_size_aware_invalid_budget():
+    with pytest.raises(ValueError):
+        SizeAwarePacketizer(packet_bytes=0)
+
+
+def test_size_aware_plan_counts():
+    p = SizeAwarePacketizer(packet_bytes=1000)
+    plan = p.plan(total_bytes=3500, n_pairs=35, avg_pair_bytes=100, max_pair_bytes=100)
+    assert plan.n_packets == 4
+    assert plan.avg_packet_bytes == pytest.approx(875)
+    assert plan.max_packet_bytes == 1000
+    assert plan.total_bytes == 3500
+
+
+def test_size_aware_plan_max_is_at_least_max_pair():
+    p = SizeAwarePacketizer(packet_bytes=1000)
+    plan = p.plan(total_bytes=10_000, n_pairs=5, avg_pair_bytes=2000, max_pair_bytes=4000)
+    assert plan.max_packet_bytes == 4000
+
+
+def test_plan_empty_segment():
+    p = SizeAwarePacketizer()
+    plan = p.plan(0, 0, 100, 100)
+    assert plan.n_packets == 0 and plan.total_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# FixedPairsPacketizer (Hadoop-A)
+# ---------------------------------------------------------------------------
+
+
+def test_fixed_pairs_counts():
+    p = FixedPairsPacketizer(pairs_per_packet=3)
+    packets = list(p.packets(recs(1, 1, 1, 1, 1, 1, 1)))
+    assert [len(x) for x in packets] == [3, 3, 1]
+    assert validate_packets(packets, recs(1, 1, 1, 1, 1, 1, 1))
+
+
+def test_fixed_pairs_ignores_sizes():
+    """The Hadoop-A policy packs by count — huge pairs inflate the packet."""
+    p = FixedPairsPacketizer(pairs_per_packet=2)
+    packets = list(p.packets(recs(10_000, 10_000, 5)))
+    assert len(packets[0]) == 2
+    assert sum(record_size(r) for r in packets[0]) > 20_000
+
+
+def test_fixed_pairs_plan_max_packet_blows_up_for_variable_records():
+    """The Figure-6 mechanism: TeraSort-tuned pairs/packet on Sort records."""
+    p = FixedPairsPacketizer(pairs_per_packet=1310)
+    terasort = p.plan(8e6, n_pairs=74000, avg_pair_bytes=108, max_pair_bytes=108)
+    sort = p.plan(8e6, n_pairs=760, avg_pair_bytes=10500, max_pair_bytes=21000)
+    assert terasort.max_packet_bytes <= 1310 * 108
+    # On Sort, one full packet of big pairs dwarfs the whole segment budget.
+    assert sort.max_packet_bytes == pytest.approx(8e6)
+    assert sort.n_packets == 1
+
+
+def test_fixed_pairs_invalid():
+    with pytest.raises(ValueError):
+        FixedPairsPacketizer(pairs_per_packet=0)
+
+
+# ---------------------------------------------------------------------------
+# WholeFilePacketizer (vanilla)
+# ---------------------------------------------------------------------------
+
+
+def test_whole_file_single_packet():
+    p = WholeFilePacketizer()
+    packets = list(p.packets(recs(1, 2, 3)))
+    assert len(packets) == 1 and len(packets[0]) == 3
+
+
+def test_whole_file_plan():
+    p = WholeFilePacketizer()
+    plan = p.plan(5000, 50, 100, 100)
+    assert plan.n_packets == 1
+    assert plan.max_packet_bytes == 5000
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=2000), max_size=60),
+    budget=st.integers(min_value=16, max_value=4096),
+)
+@settings(max_examples=100, deadline=None)
+def test_size_aware_partition_property(sizes, budget):
+    records = recs(*sizes)
+    packets = list(SizeAwarePacketizer(budget).packets(records))
+    assert validate_packets(packets, records)
+    for pkt in packets:
+        if len(pkt) > 1:
+            assert sum(record_size(r) for r in pkt) <= budget
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=500), max_size=60),
+    k=st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=100, deadline=None)
+def test_fixed_pairs_partition_property(sizes, k):
+    records = recs(*sizes)
+    packets = list(FixedPairsPacketizer(k).packets(records))
+    assert validate_packets(packets, records)
+    assert all(len(p) == k for p in packets[:-1])
+    if packets:
+        assert 1 <= len(packets[-1]) <= k
+
+
+@given(
+    total=st.floats(min_value=1, max_value=1e9),
+    pairs=st.integers(min_value=1, max_value=10_000_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_plans_conserve_bytes(total, pairs):
+    avg = total / pairs
+    for packetizer in (
+        SizeAwarePacketizer(128 * 1024),
+        FixedPairsPacketizer(1310),
+        WholeFilePacketizer(),
+    ):
+        plan = packetizer.plan(total, pairs, avg, avg * 2)
+        assert plan.n_packets >= 1
+        assert plan.avg_packet_bytes * plan.n_packets == pytest.approx(total, rel=1e-9)
+        assert plan.max_packet_bytes >= plan.avg_packet_bytes - 1e-9

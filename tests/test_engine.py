@@ -1,0 +1,214 @@
+"""Tests for the functional MapReduce engine (real data end-to-end)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packets import FixedPairsPacketizer, SizeAwarePacketizer
+from repro.engine import EngineConfig, LocalJobRunner, identity_mapper, identity_reducer
+from repro.engine.mapside import run_map_side
+from repro.engine.partition import HashPartitioner, RangePartitioner
+from repro.workloads import random_writer, teragen, teravalidate
+
+
+def terasort_runner(**overrides) -> LocalJobRunner:
+    defaults = dict(n_reducers=4, split_records=250, cache_bytes=8 << 20)
+    defaults.update(overrides)
+    return LocalJobRunner(config=EngineConfig(**defaults))
+
+
+# ---------------------------------------------------------------------------
+# Partitioners
+# ---------------------------------------------------------------------------
+
+
+def test_hash_partitioner_stable_and_in_range():
+    p = HashPartitioner(4)
+    assert p.partition(b"abc") == p.partition(b"abc")
+    assert all(0 <= p.partition(bytes([i])) < 4 for i in range(256))
+
+
+def test_hash_partitioner_validation():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+def test_range_partitioner_orders_partitions():
+    p = RangePartitioner.from_sample([b"b", b"d", b"f", b"h"], 3)
+    assert p.partition(b"a") == 0
+    assert p.partition(b"e") <= p.partition(b"z")
+    assert p.partition(b"z") == 2
+
+
+def test_range_partitioner_single_reducer():
+    p = RangePartitioner.from_sample([b"x"], 1)
+    assert p.partition(b"anything") == 0
+
+
+def test_range_partitioner_empty_sample():
+    p = RangePartitioner.from_sample([], 4)
+    assert p.partition(b"k") == 0  # degenerate but valid
+
+
+# ---------------------------------------------------------------------------
+# Map side
+# ---------------------------------------------------------------------------
+
+
+def test_map_side_single_spill_partitions_sorted():
+    rng = np.random.default_rng(0)
+    split = teragen(rng, 200)
+    out = run_map_side(
+        0, split, identity_mapper, HashPartitioner(4), 4, sort_buffer_bytes=1 << 20
+    )
+    assert out.spills == 1
+    assert out.total_records == 200
+    for part in out.partitions:
+        keys = [r[0] for r in part]
+        assert keys == sorted(keys)
+
+
+def test_map_side_multi_spill_merges():
+    rng = np.random.default_rng(1)
+    split = teragen(rng, 300)
+    out = run_map_side(
+        0, split, identity_mapper, HashPartitioner(2), 2, sort_buffer_bytes=4096
+    )
+    assert out.spills > 1
+    assert out.total_records == 300
+    for part in out.partitions:
+        keys = [r[0] for r in part]
+        assert keys == sorted(keys)
+
+
+def test_map_side_empty_split():
+    out = run_map_side(0, [], identity_mapper, HashPartitioner(2), 2, 4096)
+    assert out.total_records == 0 and out.spills == 0
+
+
+def test_mapper_can_expand_records():
+    def doubler(key, value):
+        yield (key, value)
+        yield (key + b"!", value)
+
+    out = run_map_side(
+        0, [(b"a", b"v")], doubler, HashPartitioner(2), 2, 4096
+    )
+    assert out.total_records == 2
+
+
+# ---------------------------------------------------------------------------
+# Full jobs
+# ---------------------------------------------------------------------------
+
+
+def test_terasort_validates_end_to_end():
+    rng = np.random.default_rng(2)
+    records = teragen(rng, 3000)
+    out = terasort_runner(n_reducers=8).run(records)
+    report = teravalidate(out.partitions, expected_rows=3000)
+    assert report["valid"], report
+
+
+def test_sort_with_randomwriter_records():
+    rng = np.random.default_rng(3)
+    records = random_writer(rng, 400)
+    out = terasort_runner(n_reducers=4, split_records=64).run(records)
+    assert out.total_records == 400
+    report = teravalidate(out.partitions, expected_rows=400)
+    assert report["valid"], report
+
+
+def test_hash_partitioning_sorted_within_partition():
+    rng = np.random.default_rng(4)
+    records = teragen(rng, 1000)
+    out = terasort_runner(partitioning="hash").run(records)
+    assert out.total_records == 1000
+    for part in out.partitions:
+        keys = [r[0] for r in part]
+        assert keys == sorted(keys)
+
+
+def test_packetizer_choice_does_not_change_output():
+    rng = np.random.default_rng(5)
+    records = teragen(rng, 1200)
+    outs = []
+    for packetizer in (
+        SizeAwarePacketizer(1024),
+        SizeAwarePacketizer(1 << 20),
+        FixedPairsPacketizer(7),
+    ):
+        out = terasort_runner(packetizer=packetizer).run(records)
+        outs.append([r[0] for part in out.partitions for r in part])
+    assert outs[0] == outs[1] == outs[2]
+
+
+def test_cache_disabled_still_correct():
+    rng = np.random.default_rng(6)
+    records = teragen(rng, 800)
+    out = terasort_runner(cache_bytes=0).run(records)
+    assert out.cache_stats is None
+    assert teravalidate(out.partitions, expected_rows=800)["valid"]
+
+
+def test_cache_enabled_reports_hits():
+    rng = np.random.default_rng(7)
+    records = teragen(rng, 800)
+    out = terasort_runner(cache_bytes=64 << 20).run(records)
+    assert out.cache_stats is not None
+    assert out.cache_stats.hits > 0
+
+
+def test_wordcount_style_reduce():
+    """A non-identity reducer: aggregate counts per key."""
+    words = [(w, b"1") for w in [b"b", b"a", b"b", b"c", b"a", b"b"]]
+
+    def count_reducer(key, values):
+        yield (key, str(len(values)).encode())
+
+    out = LocalJobRunner(
+        reducer=count_reducer,
+        config=EngineConfig(n_reducers=2, split_records=2, partitioning="hash"),
+    ).run(words)
+    counts = dict(r for part in out.partitions for r in part)
+    assert counts == {b"a": b"2", b"b": b"3", b"c": b"1"}
+
+
+def test_shuffle_stats_conserve_records():
+    rng = np.random.default_rng(8)
+    records = teragen(rng, 600)
+    out = terasort_runner().run(records)
+    assert out.shuffle_stats.records == 600
+    assert out.total_records == 600
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EngineConfig(n_reducers=0)
+    with pytest.raises(ValueError):
+        EngineConfig(partitioning="alphabetical")
+
+
+@given(
+    n=st.integers(min_value=0, max_value=400),
+    n_reducers=st.integers(min_value=1, max_value=6),
+    packet=st.integers(min_value=64, max_value=4096),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_terasort_property(n, n_reducers, packet, seed):
+    """Any input size / reducer count / packet size yields valid TeraSort."""
+    rng = np.random.default_rng(seed)
+    records = teragen(rng, n)
+    runner = LocalJobRunner(
+        config=EngineConfig(
+            n_reducers=n_reducers,
+            split_records=max(1, n // 3) if n else None,
+            packetizer=SizeAwarePacketizer(packet),
+            cache_bytes=1 << 20,
+        )
+    )
+    out = runner.run(records)
+    report = teravalidate(out.partitions, expected_rows=n)
+    assert report["valid"], report

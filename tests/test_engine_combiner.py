@@ -1,0 +1,80 @@
+"""Tests for map-side combiner support in the functional engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineConfig, LocalJobRunner
+
+
+def sum_combiner(key, values):
+    yield (key, sum(values))
+
+
+def sum_reducer(key, values):
+    yield (key, sum(values))
+
+
+def word_records(words):
+    return [(w, 1) for w in words]
+
+
+def run_wordcount(words, combiner=None, **cfg):
+    defaults = dict(n_reducers=2, split_records=4, partitioning="hash")
+    defaults.update(cfg)
+    runner = LocalJobRunner(
+        reducer=sum_reducer,
+        combiner=combiner,
+        config=EngineConfig(**defaults),
+    )
+    return runner.run(word_records(words))
+
+
+def test_combiner_preserves_result():
+    words = [b"a", b"b", b"a", b"c", b"a", b"b", b"a", b"a", b"c"]
+    without = run_wordcount(words)
+    with_c = run_wordcount(words, combiner=sum_combiner)
+    counts_without = dict(r for p in without.partitions for r in p)
+    counts_with = dict(r for p in with_c.partitions for r in p)
+    assert counts_without == counts_with == {b"a": 5, b"b": 2, b"c": 2}
+
+
+def test_combiner_shrinks_shuffle():
+    words = [b"x"] * 100 + [b"y"] * 100
+    without = run_wordcount(words, split_records=20)
+    with_c = run_wordcount(words, combiner=sum_combiner, split_records=20)
+    assert with_c.shuffle_stats.records < without.shuffle_stats.records
+    # Each split emits at most one record per distinct key per spill.
+    assert with_c.shuffle_stats.records <= 2 * 10
+
+
+def test_combiner_output_stays_sorted():
+    words = [bytes([c]) for c in b"zyxwvu" * 5]
+    out = run_wordcount(words, combiner=sum_combiner)
+    for part in out.partitions:
+        keys = [r[0] for r in part]
+        assert keys == sorted(keys)
+
+
+def test_combiner_applies_per_spill():
+    """A multi-spill map combines within each spill independently."""
+    words = [b"k"] * 50
+    out = run_wordcount(
+        words, combiner=sum_combiner, split_records=50, sort_buffer_bytes=64
+    )
+    assert out.map_outputs[0].spills > 1
+    total = sum(v for p in out.partitions for _k, v in p)
+    assert total == 50
+
+
+@given(
+    words=st.lists(st.sampled_from([b"a", b"b", b"c", b"d"]), max_size=200),
+    split=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_combiner_equivalence_property(words, split):
+    """With or without a combiner, final counts are identical."""
+    without = run_wordcount(words, split_records=split)
+    with_c = run_wordcount(words, combiner=sum_combiner, split_records=split)
+    a = dict(r for p in without.partitions for r in p)
+    b = dict(r for p in with_c.partitions for r in p)
+    assert a == b

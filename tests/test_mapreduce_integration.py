@@ -1,0 +1,200 @@
+"""Integration tests: full simulated jobs through every shuffle engine.
+
+Small datasets keep each run under a second; assertions target the
+invariants that must hold at any scale (conservation of bytes, phase
+ordering, determinism, engine-specific counters).
+"""
+
+import pytest
+
+from repro.cluster import build_cluster, westmere_cluster
+from repro.mapreduce import run_job, sort_job, terasort_job
+from repro.mapreduce.driver import run_job_on
+from repro.mapreduce.job import JobConf
+from repro.workloads import TERASORT_RECORDS
+
+GB = 1024**3
+MB = 1024 * 1024
+
+ENGINES = ["http", "hadoopa", "rdma"]
+
+
+def small_terasort(engine, n_nodes=2, size=1 * GB, **overrides):
+    conf = terasort_job(size, n_nodes, engine, **overrides)
+    return run_job(westmere_cluster(n_nodes), "ipoib", conf)
+
+
+# ---------------------------------------------------------------------------
+# Every engine completes and conserves data
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_job_completes(engine):
+    result = small_terasort(engine)
+    assert result.execution_time > 0
+    assert result.counters["map.completed"] == result.conf.n_maps
+    assert result.counters["reduce.completed"] == result.conf.n_reduces
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_shuffle_moves_all_intermediate_bytes(engine):
+    result = small_terasort(engine)
+    # Every engine must deliver the full map output to the reducers.
+    assert result.counters["shuffle.bytes"] == pytest.approx(
+        result.counters["map.output_bytes"], rel=1e-6
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_reduce_writes_full_output(engine):
+    result = small_terasort(engine)
+    assert result.counters["reduce.output_bytes"] == pytest.approx(
+        result.conf.data_bytes, rel=1e-6
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_phase_ordering(engine):
+    result = small_terasort(engine)
+    assert result.first_map_start < result.last_map_end
+    assert result.last_map_end <= result.last_reduce_done
+    assert result.first_reduce_done <= result.last_reduce_done
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_determinism_same_seed(engine):
+    a = small_terasort(engine)
+    b = small_terasort(engine)
+    assert a.execution_time == b.execution_time
+    assert a.counters == b.counters
+
+
+def test_different_seeds_differ_slightly():
+    conf = terasort_job(1 * GB, 2, "rdma")
+    a = run_job(westmere_cluster(2), "ipoib", conf, seed=0)
+    b = run_job(westmere_cluster(2), "ipoib", conf, seed=1)
+    assert a.execution_time != b.execution_time
+    # but only by jitter-level amounts
+    assert abs(a.execution_time - b.execution_time) < 0.2 * a.execution_time
+
+
+# ---------------------------------------------------------------------------
+# Engine-specific behaviours
+# ---------------------------------------------------------------------------
+
+
+def test_http_uses_fabric_socket_traffic():
+    result = small_terasort("http")
+    assert result.counters["net.bytes"] > result.counters["map.output_bytes"] * 0.5
+    assert result.counters["shuffle.tt_disk_read_bytes"] > 0
+    assert "cache.hits" not in result.counters
+
+
+def test_rdma_cache_hits_and_prefetch():
+    result = small_terasort("rdma")
+    assert result.counters.get("cache.hits", 0) > 0
+    assert result.counters.get("cache.prefetched_bytes", 0) > 0
+    assert 0 < result.counters["cache.hit_rate"] <= 1
+
+
+def test_rdma_caching_disabled_hits_disk():
+    result = small_terasort("rdma", caching_enabled=False)
+    assert result.counters.get("cache.hits", 0) == 0
+    assert result.counters["shuffle.tt_disk_read_bytes"] == pytest.approx(
+        result.counters["map.output_bytes"], rel=1e-6
+    )
+
+
+def test_hadoopa_always_reads_disk_at_tt():
+    result = small_terasort("hadoopa")
+    assert result.counters["shuffle.tt_disk_read_bytes"] == pytest.approx(
+        result.counters["map.output_bytes"], rel=1e-6
+    )
+
+
+def test_hadoopa_staging_on_variable_records():
+    """Sort records + fixed pairs-per-packet must trigger staging once the
+    run count outgrows the levitation budget."""
+    conf = sort_job(8 * GB, 2, "hadoopa")
+    result = run_job(westmere_cluster(2), "ipoib", conf)
+    assert result.counters.get("reduce.staged_runs", 0) > 0
+    assert result.counters.get("reduce.staged_bytes", 0) > 0
+
+
+def test_rdma_no_staging_on_variable_records():
+    """OSU-IB's size-aware packets keep the same workload levitated."""
+    conf = sort_job(8 * GB, 2, "rdma")
+    result = run_job(westmere_cluster(2), "ipoib", conf)
+    assert result.counters.get("reduce.staged_runs", 0) == 0
+
+
+def test_vanilla_spills_under_memory_pressure():
+    """A dataset far larger than the shuffle buffers must spill to disk."""
+    result = small_terasort("http", n_nodes=2, size=6 * GB)
+    assert result.counters.get("reduce.memmerge_bytes", 0) > 0
+
+
+def test_engine_ordering_on_terasort():
+    times = {engine: small_terasort(engine, size=4 * GB).execution_time
+             for engine in ENGINES}
+    assert times["rdma"] < times["http"]
+    assert times["hadoopa"] < times["http"] * 1.05
+
+
+# ---------------------------------------------------------------------------
+# Configuration surface
+# ---------------------------------------------------------------------------
+
+
+def test_jobconf_validation():
+    with pytest.raises(ValueError):
+        terasort_job(1 * GB, 2, "carrier-pigeon")
+    with pytest.raises(ValueError):
+        JobConf(
+            job_id="x",
+            benchmark="terasort",
+            data_bytes=0,
+            block_bytes=1,
+            n_reduces=1,
+            record_model=TERASORT_RECORDS,
+        )
+
+
+def test_terasort_job_block_size_convention():
+    """Paper §IV-B: 256 MB blocks except 128 MB for Hadoop-A."""
+    assert terasort_job(1 * GB, 2, "rdma").block_bytes == 256 * MB
+    assert terasort_job(1 * GB, 2, "http").block_bytes == 256 * MB
+    assert terasort_job(1 * GB, 2, "hadoopa").block_bytes == 128 * MB
+    assert sort_job(1 * GB, 2, "rdma").block_bytes == 64 * MB
+
+
+def test_n_maps_derivation():
+    conf = terasort_job(1 * GB, 2, "rdma")
+    assert conf.n_maps == 4  # 1 GB / 256 MB
+    assert conf.n_reduces == 8  # 4 reduce slots x 2 nodes
+
+
+def test_run_job_on_existing_cluster():
+    cluster = build_cluster(westmere_cluster(2), "ipoib")
+    result = run_job_on(cluster, terasort_job(1 * GB, 2, "rdma"))
+    assert result.n_nodes == 2
+    assert result.transport == "IPoIB"
+
+
+def test_multi_disk_improves_time():
+    one = run_job(westmere_cluster(2, n_disks=1), "ipoib", terasort_job(4 * GB, 2, "rdma"))
+    two = run_job(westmere_cluster(2, n_disks=2), "ipoib", terasort_job(4 * GB, 2, "rdma"))
+    assert two.execution_time < one.execution_time
+
+
+def test_ssd_improves_time():
+    hdd = run_job(westmere_cluster(2, 1, "compute"), "ipoib", sort_job(2 * GB, 2, "rdma"))
+    ssd = run_job(westmere_cluster(2, 1, "ssd"), "ipoib", sort_job(2 * GB, 2, "rdma"))
+    assert ssd.execution_time < hdd.execution_time
+
+
+def test_result_summary_renders():
+    result = small_terasort("rdma")
+    text = result.summary()
+    assert "terasort" in text and "IPoIB" in text

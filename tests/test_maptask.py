@@ -1,0 +1,83 @@
+"""Unit tests for the simulated map task (spills, merge pass, registration)."""
+
+import pytest
+
+from repro.cluster import build_cluster, westmere_cluster
+from repro.hdfs.block import Block
+from repro.mapreduce.context import JobContext
+from repro.mapreduce.job import terasort_job
+from repro.mapreduce.maptask import map_output_file_name, run_map_task
+from repro.mapreduce.shuffle.base import engine_by_name
+from repro.mapreduce.shuffle.hadoopa import HadoopAConsumer, HadoopAProvider
+from repro.mapreduce.shuffle.http import HttpShuffleConsumer, HttpShuffleProvider
+from repro.mapreduce.shuffle.rdma import RdmaShuffleConsumer, RdmaShuffleProvider
+from repro.mapreduce.tasktracker import TaskTracker
+
+GB = 1024**3
+MB = 1024 * 1024
+
+
+def run_one_map(block_bytes, io_sort_mb=100 * MB, **overrides):
+    cluster = build_cluster(westmere_cluster(1), "ipoib")
+    conf = terasort_job(
+        block_bytes, 1, "http", block_bytes=block_bytes, io_sort_mb=io_sort_mb,
+        input_replication=1, **overrides
+    )
+    ctx = JobContext(cluster, conf)
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = HttpShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    blocks = ctx.dfs.provision_file("in", block_bytes, block_bytes, replication=1)
+    done = cluster.sim.process(run_map_task(ctx, tt, 0, blocks[0]))
+    meta = cluster.sim.run(done)
+    return cluster, ctx, tt, meta
+
+
+def test_single_spill_map_renames_spill():
+    """A split smaller than one spill unit produces no merge pass."""
+    cluster, ctx, tt, meta = run_one_map(64 * MB)
+    node = cluster.nodes[0]
+    assert node.fs.exists(map_output_file_name(0))
+    assert ctx.counters.get("map.merge_bytes") == 0.0
+    assert ctx.counters.get("map.spill_bytes") == pytest.approx(64 * MB)
+
+
+def test_multi_spill_map_pays_merge_pass():
+    """256 MB split with a 100 MB sort buffer -> multiple spills + merge."""
+    cluster, ctx, tt, meta = run_one_map(256 * MB)
+    assert ctx.counters.get("map.spill_bytes") == pytest.approx(256 * MB)
+    assert ctx.counters.get("map.merge_bytes") == pytest.approx(256 * MB)
+    # Spill files were cleaned up after the merge.
+    node = cluster.nodes[0]
+    assert not node.fs.exists("spill/m0/0")
+
+
+def test_map_output_meta_partitions_balanced():
+    _c, ctx, _tt, meta = run_one_map(64 * MB)
+    sizes = [b for b, _p in meta.partitions]
+    assert len(sizes) == ctx.conf.n_reduces
+    assert max(sizes) == min(sizes)
+    assert sum(sizes) == pytest.approx(64 * MB)
+
+
+def test_map_output_registered_with_tracker():
+    _c, ctx, tt, meta = run_one_map(64 * MB)
+    got_meta, got_file = tt.output_of(0)
+    assert got_meta is meta
+    assert got_file.size == pytest.approx(64 * MB)
+    assert ctx.completed_maps == 1
+    with pytest.raises(KeyError):
+        tt.output_of(99)
+
+
+def test_map_expansion_scales_output():
+    _c, ctx, _tt, meta = run_one_map(64 * MB, map_output_expansion=1.5)
+    assert meta.total_bytes == pytest.approx(96 * MB)
+
+
+def test_engine_registry():
+    assert engine_by_name("http") == (HttpShuffleProvider, HttpShuffleConsumer)
+    assert engine_by_name("hadoopa") == (HadoopAProvider, HadoopAConsumer)
+    assert engine_by_name("rdma") == (RdmaShuffleProvider, RdmaShuffleConsumer)
+    with pytest.raises(KeyError):
+        engine_by_name("smoke-signals")

@@ -1,0 +1,46 @@
+"""Tests for the sensitivity-sweep tool."""
+
+import pytest
+
+from repro.experiments.sensitivity import render_sweep, sweep_jobconf
+
+GB = 1024**3
+
+
+def test_sweep_requires_values():
+    with pytest.raises(ValueError):
+        sweep_jobconf("rdma_packet_bytes", [])
+
+
+def test_sweep_unknown_benchmark():
+    with pytest.raises(KeyError):
+        sweep_jobconf("rdma_packet_bytes", [1], benchmark="wordcount")
+
+
+@pytest.mark.slow
+def test_sweep_packet_size_returns_rows():
+    rows = sweep_jobconf(
+        "rdma_packet_bytes",
+        [32 << 10, 128 << 10],
+        size_bytes=1 * GB,
+        n_nodes=2,
+    )
+    assert len(rows) == 2
+    assert rows[0].delta_vs_first == 0.0
+    assert all(r.execution_time > 0 for r in rows)
+    text = render_sweep(rows)
+    assert "rdma_packet_bytes" in text
+    assert text.count("->") == 2  # one line per swept value
+
+
+@pytest.mark.slow
+def test_sweep_caching_matches_direct_ablation():
+    rows = sweep_jobconf(
+        "caching_enabled", [True, False], size_bytes=2 * GB, n_nodes=2
+    )
+    on, off = rows
+    assert off.execution_time >= on.execution_time  # caching never hurts
+
+
+def test_render_empty():
+    assert "empty" in render_sweep([])

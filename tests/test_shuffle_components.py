@@ -1,0 +1,231 @@
+"""Component-level tests of the shuffle engines' TaskTracker halves.
+
+These build a minimal job context and drive a single provider directly —
+no full job — to pin down the request/response, cache, and prefetcher
+semantics the integration tests rely on.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster, westmere_cluster
+from repro.core.protocol import (
+    ConnectRequest,
+    DataRequest,
+    DataResponse,
+    MapOutputMeta,
+)
+from repro.mapreduce.context import JobContext
+from repro.mapreduce.job import terasort_job
+from repro.mapreduce.shuffle.hadoopa import HadoopAProvider
+from repro.mapreduce.shuffle.http import HttpShuffleProvider
+from repro.mapreduce.shuffle.rdma import RdmaShuffleProvider
+from repro.mapreduce.tasktracker import TaskTracker
+from repro.sim.core import Event
+
+GB = 1024**3
+MB = 1024 * 1024
+
+
+def make_ctx(engine="rdma", **overrides):
+    cluster = build_cluster(westmere_cluster(2), "ipoib")
+    conf = terasort_job(1 * GB, 2, engine, **overrides)
+    ctx = JobContext(cluster, conf)
+    return cluster, ctx
+
+
+def publish_output(ctx, tt, map_id=0, total=64 * MB):
+    """Register a fake finished map output on the tracker."""
+    n_red = ctx.conf.n_reduces
+    per = total / n_red
+    pairs = int(per / ctx.conf.record_model.avg_pair_bytes)
+    meta = MapOutputMeta(
+        job_id=ctx.conf.job_id,
+        map_id=map_id,
+        host=tt.name,
+        partitions=tuple((per, pairs) for _ in range(n_red)),
+    )
+    f = tt.node.fs.create(f"mapout/m{map_id}")
+    f.size = total
+    tt.map_outputs[map_id] = (meta, f)
+    if tt.provider is not None:
+        tt.provider.on_map_output(meta, f)
+    return meta, f
+
+
+# ---------------------------------------------------------------------------
+# Protocol messages
+# ---------------------------------------------------------------------------
+
+
+def test_protocol_message_sizes():
+    assert ConnectRequest("j", 0, "n:1").serialized_size() == 64
+    assert DataRequest("j", 1, 2, 0.0, 1024.0).serialized_size() == 96
+    assert DataResponse("j", 1, 2, 10, 1024.0, eof=True).serialized_size() == 96
+
+
+def test_map_output_meta_accessors():
+    meta = MapOutputMeta("j", 3, "node00", partitions=((100.0, 2), (50.0, 1)))
+    assert meta.segment(0) == (100.0, 2)
+    assert meta.segment(1) == (50.0, 1)
+    assert meta.total_bytes == 150.0
+    assert meta.total_pairs == 3
+
+
+# ---------------------------------------------------------------------------
+# OSU-IB provider: DataRequestQueue + responder + cache
+# ---------------------------------------------------------------------------
+
+
+def _fetch(ctx, provider, requester, req):
+    """Drive a request through the provider; returns bytes served."""
+
+    def go(sim):
+        if not ctx.ucr.is_connected(requester, provider.tt.node):
+            yield from ctx.ucr.connect(requester, provider.tt.node)
+            yield from ctx.ucr.connect(provider.tt.node, requester)
+        done = Event(sim)
+        provider.submit(req, done, requester)
+        got = yield done
+        return got
+
+    return ctx.sim.run(ctx.sim.process(go(ctx.sim)))
+
+
+def test_rdma_responder_serves_wave_and_hits_cache():
+    cluster, ctx = make_ctx("rdma")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = RdmaShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    publish_output(ctx, tt)
+    cluster.sim.run(until=cluster.sim.now + 1.0)  # let the prefetcher copy
+
+    req = DataRequest(ctx.conf.job_id, 0, 0, offset=0.0, max_bytes=1 * MB)
+    got = _fetch(ctx, provider, cluster.nodes[1], req)
+    assert got == 1 * MB
+    assert ctx.counters.get("cache.hits", 0) == 1
+    assert ctx.counters.get("shuffle.tt_disk_read_bytes", 0) == 0
+
+
+def test_rdma_responder_miss_reads_disk_and_demands():
+    cluster, ctx = make_ctx("rdma")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = RdmaShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    meta, f = publish_output(ctx, tt)
+    # Do NOT give the prefetcher time: first request must miss.
+    provider.cache.evict((0, 0))
+    req = DataRequest(ctx.conf.job_id, 0, 0, offset=0.0, max_bytes=1 * MB)
+    got = _fetch(ctx, provider, cluster.nodes[1], req)
+    assert got == 1 * MB
+    assert ctx.counters.get("shuffle.tt_disk_read_bytes", 0) >= 1 * MB
+
+
+def test_rdma_short_read_at_segment_end():
+    cluster, ctx = make_ctx("rdma")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = RdmaShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    meta, _ = publish_output(ctx, tt)
+    seg_bytes, _ = meta.segment(0)
+    req = DataRequest(
+        ctx.conf.job_id, 0, 0, offset=seg_bytes - 100.0, max_bytes=1 * MB
+    )
+    got = _fetch(ctx, provider, cluster.nodes[1], req)
+    assert got == pytest.approx(100.0)
+
+
+def test_rdma_eof_evicts_cached_segment():
+    cluster, ctx = make_ctx("rdma")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = RdmaShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    meta, _ = publish_output(ctx, tt)
+    cluster.sim.run(until=cluster.sim.now + 1.0)
+    assert (0, 0) in provider.cache
+    seg_bytes, _ = meta.segment(0)
+    req = DataRequest(ctx.conf.job_id, 0, 0, offset=0.0, max_bytes=seg_bytes)
+    _fetch(ctx, provider, cluster.nodes[1], req)
+    assert (0, 0) not in provider.cache  # sole consumer done -> freed
+
+
+def test_rdma_caching_disabled_has_no_prefetcher():
+    cluster, ctx = make_ctx("rdma", caching_enabled=False)
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    provider = RdmaShuffleProvider(ctx, tt)
+    assert provider.prefetcher is None
+    assert provider.cache.capacity == 0.0
+
+
+def test_request_beyond_segment_returns_zero():
+    cluster, ctx = make_ctx("rdma")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = RdmaShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    meta, _ = publish_output(ctx, tt)
+    seg_bytes, _ = meta.segment(0)
+    req = DataRequest(ctx.conf.job_id, 0, 0, offset=seg_bytes, max_bytes=1 * MB)
+    got = _fetch(ctx, provider, cluster.nodes[1], req)
+    assert got == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Hadoop-A provider: disk on every request
+# ---------------------------------------------------------------------------
+
+
+def test_hadoopa_provider_always_reads_disk():
+    cluster, ctx = make_ctx("hadoopa")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = HadoopAProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    publish_output(ctx, tt)
+    cluster.sim.run(until=cluster.sim.now + 1.0)
+    for _ in range(2):  # repeat fetch of the same wave: no caching ever
+        req = DataRequest(ctx.conf.job_id, 0, 0, offset=0.0, max_bytes=1 * MB)
+        _fetch(ctx, provider, cluster.nodes[1], req)
+    assert ctx.counters.get("shuffle.tt_disk_read_bytes", 0) == 2 * MB
+    assert ctx.counters.get("cache.hits", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# HTTP provider: servlet pool + streamed response
+# ---------------------------------------------------------------------------
+
+
+def test_http_provider_serves_whole_segment():
+    cluster, ctx = make_ctx("http")
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = HttpShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    meta, _ = publish_output(ctx, tt)
+    seg_bytes, _ = meta.segment(3)
+
+    def go(sim):
+        got = yield from provider.serve(cluster.nodes[1], 0, 3)
+        return got
+
+    got = cluster.sim.run(cluster.sim.process(go(cluster.sim)))
+    assert got == pytest.approx(seg_bytes)
+    assert provider.bytes_served == pytest.approx(seg_bytes)
+    assert ctx.counters.get("shuffle.tt_disk_read_bytes") == pytest.approx(seg_bytes)
+
+
+def test_http_servlet_pool_bounds_concurrency():
+    """With one servlet thread, a second concurrent request queues."""
+    cluster, ctx = make_ctx("http", http_server_threads=1)
+    tt = TaskTracker(ctx, cluster.nodes[0])
+    tt.provider = provider = HttpShuffleProvider(ctx, tt)
+    ctx.trackers[tt.name] = tt
+    publish_output(ctx, tt)
+    assert provider.servlets.capacity == 1
+
+    def one(sim, rid):
+        yield from provider.serve(cluster.nodes[1], 0, rid)
+
+    procs = [cluster.sim.process(one(cluster.sim, r)) for r in (0, 1)]
+    saw_queueing = False
+    while not all(p.processed for p in procs):
+        cluster.sim.step()
+        if provider.servlets.queue_len > 0:
+            saw_queueing = True
+    assert saw_queueing

@@ -1,0 +1,115 @@
+"""Tests for record models, generators, and TeraValidate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packets import record_size
+from repro.workloads import (
+    RANDOMWRITER_RECORDS,
+    TERASORT_RECORDS,
+    RecordModel,
+    random_writer,
+    teragen,
+    teravalidate,
+)
+
+
+def test_terasort_model_is_100_byte_records():
+    assert TERASORT_RECORDS.fixed_size
+    assert TERASORT_RECORDS.avg_key == 10
+    assert TERASORT_RECORDS.avg_value == 90
+    assert TERASORT_RECORDS.avg_pair_bytes == 108  # +8 B serialization
+    assert TERASORT_RECORDS.max_pair_bytes == 108
+
+
+def test_randomwriter_model_matches_paper():
+    """§IV-C: 'combined length of key-value pairs can be as large as
+    20,000 bytes'."""
+    assert not RANDOMWRITER_RECORDS.fixed_size
+    assert RANDOMWRITER_RECORDS.max_key + RANDOMWRITER_RECORDS.max_value == 21000
+    assert RANDOMWRITER_RECORDS.max_pair_bytes > 20000
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        RecordModel("bad", min_key=10, max_key=5, min_value=0, max_value=0)
+    with pytest.raises(ValueError):
+        RecordModel("bad", min_key=0, max_key=0, min_value=5, max_value=1)
+
+
+def test_pairs_in():
+    assert TERASORT_RECORDS.pairs_in(1080) == 10
+    assert TERASORT_RECORDS.pairs_in(0) == 0
+    assert TERASORT_RECORDS.pairs_in(1) == 1  # at least one pair
+
+
+def test_teragen_record_shape():
+    rng = np.random.default_rng(0)
+    records = teragen(rng, 50)
+    assert len(records) == 50
+    for key, value in records:
+        assert len(key) == 10 and len(value) == 90
+        assert record_size((key, value)) == 108
+
+
+def test_teragen_negative_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        teragen(rng, -1)
+
+
+def test_random_writer_sizes_within_model():
+    rng = np.random.default_rng(1)
+    records = random_writer(rng, 200)
+    for key, value in records:
+        assert 10 <= len(key) <= 1000
+        assert 0 <= len(value) <= 20000
+
+
+def test_generators_deterministic_per_seed():
+    a = teragen(np.random.default_rng(42), 20)
+    b = teragen(np.random.default_rng(42), 20)
+    assert a == b
+
+
+def test_teravalidate_accepts_sorted_partitions():
+    parts = [[(b"a", b""), (b"b", b"")], [(b"c", b""), (b"d", b"")]]
+    assert teravalidate(parts, expected_rows=4)["valid"]
+
+
+def test_teravalidate_rejects_unsorted_partition():
+    parts = [[(b"b", b""), (b"a", b"")]]
+    report = teravalidate(parts)
+    assert not report["valid"] and "unsorted" in report["error"]
+
+
+def test_teravalidate_rejects_overlapping_partitions():
+    parts = [[(b"m", b"")], [(b"a", b"")]]
+    report = teravalidate(parts)
+    assert not report["valid"] and "overlaps" in report["error"]
+
+
+def test_teravalidate_rejects_wrong_count():
+    parts = [[(b"a", b"")]]
+    report = teravalidate(parts, expected_rows=2)
+    assert not report["valid"] and "count" in report["error"]
+
+
+def test_teravalidate_empty_ok():
+    assert teravalidate([], expected_rows=0)["valid"]
+    assert teravalidate([[], []], expected_rows=0)["valid"]
+
+
+@given(
+    n=st.integers(min_value=0, max_value=300),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_generated_keys_sort_validates(n, seed):
+    """Sorting generated records always passes TeraValidate — the
+    ground-truth contract the engine is tested against."""
+    rng = np.random.default_rng(seed)
+    records = sorted(teragen(rng, n), key=lambda r: r[0])
+    assert teravalidate([records], expected_rows=n)["valid"]
