@@ -7,12 +7,17 @@ the full suite completes in minutes; paper-scale outputs are produced by
 
 Every benchmark also sanity-asserts the figure's qualitative shape
 (orderings, not absolute numbers) so a regression in any engine model
-fails loudly here.
+fails loudly here, and exports ``BENCH_<figure>.json`` (via the
+``bench_json`` fixture) with execution times, improvement factors, cache
+hit rates, and disk/network byte counters per design — set
+``REPRO_BENCH_OUT`` to redirect the output directory (default: cwd).
 """
 
 import os
 
 import pytest
+
+from repro.obs.export import write_bench_json
 
 
 def bench_scale(default: float = 0.1) -> float:
@@ -22,3 +27,14 @@ def bench_scale(default: float = 0.1) -> float:
 @pytest.fixture
 def scale() -> float:
     return bench_scale()
+
+
+@pytest.fixture
+def bench_json():
+    """Call with a FigureResult to write ``BENCH_<figure>.json``."""
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+
+    def _write(fig, scale: float | None = None) -> str:
+        return write_bench_json(fig, out_dir=out_dir, scale=scale)
+
+    return _write

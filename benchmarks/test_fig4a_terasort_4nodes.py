@@ -23,9 +23,10 @@ def _check_shape(fig):
     assert osu < ipoib, "OSU-IB must beat IPoIB on TeraSort"
 
 
-def test_fig4a_terasort_4nodes(benchmark):
+def test_fig4a_terasort_4nodes(benchmark, bench_json):
     scale = bench_scale()
     result = benchmark.pedantic(
         lambda: fig4a(scale=scale), rounds=1, iterations=1
     )
+    bench_json(result, scale=scale)
     _check_shape(result)

@@ -5,9 +5,10 @@ from repro.experiments.figures import fig4b
 from .conftest import bench_scale
 
 
-def test_fig4b_terasort_8nodes(benchmark):
+def test_fig4b_terasort_8nodes(benchmark, bench_json):
     scale = bench_scale()
     fig = benchmark.pedantic(lambda: fig4b(scale=scale), rounds=1, iterations=1)
+    bench_json(fig, scale=scale)
     top = max(fig.xs())
     osu1 = fig.series_by_label("OSU-IB (32Gbps)-1disk").points[top]
     ha1 = fig.series_by_label("HadoopA-IB (32Gbps)-1disk").points[top]

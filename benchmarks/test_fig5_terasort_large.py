@@ -9,9 +9,10 @@ from repro.experiments.figures import fig5
 from .conftest import bench_scale
 
 
-def test_fig5_terasort_large(benchmark):
+def test_fig5_terasort_large(benchmark, bench_json):
     scale = bench_scale(0.05)
     fig = benchmark.pedantic(lambda: fig5(scale=scale), rounds=1, iterations=1)
+    bench_json(fig, scale=scale)
     for x in fig.xs():
         osu = fig.series_by_label("OSU-IB (32Gbps)").points[x]
         ipoib = fig.series_by_label("IPoIB (32Gbps)").points[x]

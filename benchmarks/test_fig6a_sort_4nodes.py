@@ -10,11 +10,12 @@ from repro.experiments.figures import fig6a
 from .conftest import bench_scale
 
 
-def test_fig6a_sort_4nodes(benchmark):
+def test_fig6a_sort_4nodes(benchmark, bench_json):
     # Default scale keeps the largest point above ~8 GB so Hadoop-A's
     # staging overflow (the figure's mechanism) actually engages.
     scale = bench_scale(0.4)
     fig = benchmark.pedantic(lambda: fig6a(scale=scale), rounds=1, iterations=1)
+    bench_json(fig, scale=scale)
     top = max(fig.xs())
     osu = fig.series_by_label("OSU-IB (32Gbps)").points[top]
     ha = fig.series_by_label("HadoopA-IB (32Gbps)").points[top]

@@ -5,9 +5,10 @@ from repro.experiments.figures import fig6b
 from .conftest import bench_scale
 
 
-def test_fig6b_sort_8nodes(benchmark):
+def test_fig6b_sort_8nodes(benchmark, bench_json):
     scale = bench_scale(0.15)
     fig = benchmark.pedantic(lambda: fig6b(scale=scale), rounds=1, iterations=1)
+    bench_json(fig, scale=scale)
     top = max(fig.xs())
     osu = fig.series_by_label("OSU-IB (32Gbps)").points[top]
     ha = fig.series_by_label("HadoopA-IB (32Gbps)").points[top]

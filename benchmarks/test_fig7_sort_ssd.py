@@ -9,9 +9,10 @@ from repro.experiments.figures import fig7
 from .conftest import bench_scale
 
 
-def test_fig7_sort_ssd(benchmark):
+def test_fig7_sort_ssd(benchmark, bench_json):
     scale = bench_scale(0.25)
     fig = benchmark.pedantic(lambda: fig7(scale=scale), rounds=1, iterations=1)
+    bench_json(fig, scale=scale)
     top = max(fig.xs())
     osu = fig.series_by_label("OSU-IB (32Gbps)").points[top]
     ha = fig.series_by_label("HadoopA-IB (32Gbps)").points[top]

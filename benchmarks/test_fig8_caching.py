@@ -5,9 +5,10 @@ from repro.experiments.figures import fig8
 from .conftest import bench_scale
 
 
-def test_fig8_caching(benchmark):
+def test_fig8_caching(benchmark, bench_json):
     scale = bench_scale(0.25)
     fig = benchmark.pedantic(lambda: fig8(scale=scale), rounds=1, iterations=1)
+    bench_json(fig, scale=scale)
     top = max(fig.xs())
     on = fig.series_by_label("OSU-IB (With Caching Enabled)").points[top]
     off = fig.series_by_label("OSU-IB (Without Caching Enabled)").points[top]

@@ -52,7 +52,8 @@ def main() -> int:
         c = out.cache_stats
         print(
             f"PrefetchCache: {c.hits} hits / {c.misses} misses "
-            f"({c.hit_rate():.0%} hit rate), {c.evictions} evictions"
+            f"({c.hit_rate():.0%} hit rate), {c.evictions} pressure evictions, "
+            f"{c.invalidations} consumer-done invalidations"
         )
     sizes = [len(p) for p in out.partitions]
     print(f"reducer output rows: {sizes} (range-partitioned, globally ordered)")

@@ -22,7 +22,7 @@ byte sizes (simulator).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable
 
 __all__ = ["CacheStats", "PrefetchCache"]
@@ -30,13 +30,23 @@ __all__ = ["CacheStats", "PrefetchCache"]
 
 @dataclass
 class CacheStats:
-    """Counters exposed to the experiment harness."""
+    """Counters exposed to the experiment harness.
+
+    ``evictions`` counts *pressure* evictions only (a lower-value resident
+    displaced to make room); ``invalidations`` counts explicit
+    :meth:`PrefetchCache.evict` completions (a segment freed because its
+    sole consumer finished streaming it).  Conflating the two would make
+    a healthy cache (many invalidations, zero pressure) indistinguishable
+    from a thrashing one in the Figure-8 ablation.
+    """
 
     hits: int = 0
     misses: int = 0
     inserts: int = 0
     rejected: int = 0  # insert didn't fit even after evicting everything eligible
-    evictions: int = 0
+    evictions: int = 0  # capacity-pressure displacements
+    invalidations: int = 0  # explicit evict() after the consumer finished
+    deferred_evictions: int = 0  # evict() refused because the segment was pinned
     bytes_hit: float = 0.0
     bytes_missed: float = 0.0
     promotions: int = 0
@@ -49,6 +59,22 @@ class CacheStats:
         n = self.lookups
         return self.hits / n if n else 0.0
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Flat view for :class:`repro.obs.registry.MetricsRegistry`."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate(),
+            "inserts": float(self.inserts),
+            "rejected": float(self.rejected),
+            "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
+            "deferred_evictions": float(self.deferred_evictions),
+            "bytes_hit": self.bytes_hit,
+            "bytes_missed": self.bytes_missed,
+            "promotions": float(self.promotions),
+        }
+
 
 @dataclass
 class _Entry:
@@ -58,6 +84,11 @@ class _Entry:
     last_access: int
     payload: Any = None
     pinned: int = 0
+    #: Clock at insertion; ``last_access == inserted_at`` means the segment
+    #: has never been fetched since it was cached.
+    inserted_at: int = 0
+    #: An explicit evict() arrived while pinned: complete it at unpin.
+    evict_on_unpin: bool = False
 
 
 class PrefetchCache:
@@ -129,7 +160,9 @@ class PrefetchCache:
             self.stats.rejected += 1
             return False
         self._clock += 1
-        self._entries[seg_id] = _Entry(seg_id, nbytes, priority, self._clock, payload)
+        self._entries[seg_id] = _Entry(
+            seg_id, nbytes, priority, self._clock, payload, inserted_at=self._clock
+        )
         self._used += nbytes
         self.stats.inserts += 1
         return True
@@ -149,6 +182,9 @@ class PrefetchCache:
             self._wanted[seg_id] = max(prev, self.DEMAND_BOOST)
             return None
         entry.last_access = self._clock
+        # A pending deferred eviction is cancelled by fresh demand: the
+        # segment demonstrably still has a consumer.
+        entry.evict_on_unpin = False
         self.stats.hits += 1
         self.stats.bytes_hit += entry.nbytes
         return entry.payload if entry.payload is not None else True
@@ -164,18 +200,38 @@ class PrefetchCache:
             entry.pinned += 1
 
     def unpin(self, seg_id: Hashable) -> None:
+        """Release one pin; completes a deferred eviction at the last pin."""
         entry = self._entries.get(seg_id)
-        if entry is not None and entry.pinned > 0:
-            entry.pinned -= 1
+        if entry is None or entry.pinned <= 0:
+            return
+        entry.pinned -= 1
+        if entry.pinned == 0 and entry.evict_on_unpin:
+            self._drop(entry)
+            self.stats.invalidations += 1
 
     def evict(self, seg_id: Hashable) -> bool:
-        """Explicitly drop a segment (e.g. after its only consumer fetched it)."""
-        entry = self._entries.pop(seg_id, None)
+        """Explicitly drop a segment (e.g. after its only consumer fetched it).
+
+        A pinned segment is **never** dropped out from under the responder
+        streaming it (the :meth:`pin` contract): the eviction is deferred
+        and completes when the last pin is released.  Returns False when
+        nothing was removed now (absent, or deferral recorded).
+        """
+        entry = self._entries.get(seg_id)
         if entry is None:
             return False
-        self._used -= entry.nbytes
-        self.stats.evictions += 1
+        if entry.pinned > 0:
+            if not entry.evict_on_unpin:
+                entry.evict_on_unpin = True
+                self.stats.deferred_evictions += 1
+            return False
+        self._drop(entry)
+        self.stats.invalidations += 1
         return True
+
+    def _drop(self, entry: _Entry) -> None:
+        del self._entries[entry.seg_id]
+        self._used -= entry.nbytes
 
     def demand(self, seg_id: Hashable, priority: float | None = None) -> None:
         """Record reducer demand without a lookup (advance notice)."""
@@ -189,8 +245,10 @@ class PrefetchCache:
         if self._used + nbytes <= self.capacity:
             return True
         # Victims: unpinned entries strictly below the incoming priority,
-        # or equal priority but older (so fresh map outputs displace stale
-        # never-fetched ones).
+        # or equal priority but *stale* — never fetched since insertion —
+        # so fresh map outputs displace stale never-fetched ones without
+        # sacrificing an equal-priority segment a reducer is actively
+        # hitting (which is newer demand than the incoming insert).
         victims = sorted(
             (e for e in self._entries.values() if e.pinned == 0),
             key=lambda e: (e.priority, e.last_access),
@@ -200,6 +258,11 @@ class PrefetchCache:
         for victim in victims:
             if victim.priority > incoming_priority:
                 break
+            if (
+                victim.priority == incoming_priority
+                and victim.last_access > victim.inserted_at
+            ):
+                continue  # equal priority, but hotter than the newcomer
             chosen.append(victim)
             freed += victim.nbytes
             if self._used - freed + nbytes <= self.capacity:
@@ -207,7 +270,6 @@ class PrefetchCache:
         if self._used - freed + nbytes > self.capacity:
             return False
         for victim in chosen:
-            del self._entries[victim.seg_id]
-            self._used -= victim.nbytes
+            self._drop(victim)
             self.stats.evictions += 1
         return True

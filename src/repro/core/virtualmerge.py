@@ -26,7 +26,7 @@ represented).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Hashable
+from typing import Hashable
 
 __all__ = ["VirtualMerger"]
 

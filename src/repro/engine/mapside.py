@@ -10,7 +10,7 @@ output, partitioned per reducer with each partition internally sorted.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import itertools

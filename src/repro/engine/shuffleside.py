@@ -17,8 +17,7 @@ This is the paper's data path executed for real:
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.core.cache import PrefetchCache
 from repro.core.merge import DataToReduceQueue, KWayMerger

@@ -30,6 +30,14 @@ class Series:
         self.points[x] = result.execution_time
         self.results[x] = result
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: times per x plus the full per-job drill-down."""
+        return {
+            "label": self.label,
+            "points": {str(x): t for x, t in sorted(self.points.items())},
+            "results": {str(x): r.to_dict() for x, r in sorted(self.results.items())},
+        }
+
 
 @dataclass
 class FigureResult:
@@ -62,6 +70,16 @@ class FigureResult:
 
     def render(self) -> str:
         return render_table(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "xs": self.xs(),
+            "series": [s.to_dict() for s in self.series],
+            "notes": list(self.notes),
+        }
 
 
 def render_table(fig: FigureResult) -> str:

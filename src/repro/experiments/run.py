@@ -76,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, help="directory for .txt tables")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write BENCH_<figure>.json next to the tables",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(ALL_FIGURES) if args.all else (args.figure or [])
@@ -93,6 +98,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.out:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(body)
+        if args.json:
+            from repro.obs.export import write_bench_json
+
+            out_dir = args.out if args.out else Path(".")
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = write_bench_json(fig, out_dir=out_dir, scale=args.scale)
+            print(f"[wrote {path}]", file=sys.stderr)
     return 0
 
 

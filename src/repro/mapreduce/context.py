@@ -16,6 +16,8 @@ from repro.hdfs.client import DFSClient
 from repro.hdfs.namenode import NameNode
 from repro.mapreduce.job import JobConf
 from repro.network.transports import IB_VERBS
+from repro.obs.phases import PhaseTracer
+from repro.obs.registry import MetricsRegistry
 from repro.sim.monitor import Counter
 from repro.sim.resources import Store
 from repro.ucr.runtime import UCRRuntime
@@ -80,6 +82,12 @@ class JobContext:
         #: (in the paper they are only ever run on the IB cluster).
         self.ucr = UCRRuntime(self.sim, cluster.fabric.flows, IB_VERBS)
         self.counters = Counter()
+        #: Structured phase tracing (repro.obs): spans from tasks/engines.
+        self.tracer = PhaseTracer(enabled=conf.phase_tracing)
+        #: Federated metrics tree; actors register their collectors here
+        #: (job counters now, cache stats and disks as they come up).
+        self.metrics = MetricsRegistry()
+        self.metrics.register("job", self.counters)
         self.board = CompletionBoard(self)
         self.trackers: dict[str, "TaskTracker"] = {}
         #: map_id -> MapOutputMeta, filled as maps complete.

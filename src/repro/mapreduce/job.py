@@ -67,6 +67,12 @@ class JobConf:
     caching_enabled: bool = True
     prefetch_threads: int = 2
 
+    # -- observability (repro.obs) ---------------------------------------------
+    #: Emit PhaseSpan records from tasks and shuffle engines.  Costs one
+    #: small object per fetch wave / merge drain; disable for the very
+    #: largest paper-scale sweeps if memory is tight.
+    phase_tracing: bool = True
+
     # -- Hadoop-A engine -------------------------------------------------------
     hadoopa_pairs_per_packet: int = 1310
     hadoopa_fetch_threads: int = 4
@@ -183,6 +189,12 @@ class JobResult:
     counters: dict[str, float] = field(default_factory=dict)
     #: Task attempt spans (see :mod:`repro.tools.timeline`).
     task_spans: list[Any] = field(default_factory=list)
+    #: Federated metrics tree snapshot (see :mod:`repro.obs.registry`).
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Phase spans (see :mod:`repro.obs.phases`), when tracing was enabled.
+    phase_spans: list[Any] = field(default_factory=list)
+    #: Figure-3 pipelining report derived from the phase spans.
+    phase_report: dict[str, Any] = field(default_factory=dict)
 
     @property
     def map_phase_seconds(self) -> float:
@@ -201,3 +213,32 @@ class JobResult:
             f"(maps {self.map_phase_seconds:.0f}s, tail {self.reduce_tail_seconds:.0f}s, "
             f"cache hit {c.get('cache.hit_rate', 0.0):.0%})"
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot for the benchmark export.
+
+        Phase spans are deliberately omitted (they can number in the
+        tens of thousands at paper scale); the derived ``phase_report``
+        carries the Figure-3 overlap quantities instead.
+        """
+        conf = self.conf
+        return {
+            "job_id": conf.job_id,
+            "benchmark": conf.benchmark,
+            "shuffle_engine": conf.shuffle_engine,
+            "transport": self.transport,
+            "n_nodes": self.n_nodes,
+            "n_maps": conf.n_maps,
+            "n_reduces": conf.n_reduces,
+            "data_bytes": conf.data_bytes,
+            "execution_time": self.execution_time,
+            "map_phase_seconds": self.map_phase_seconds,
+            "reduce_tail_seconds": self.reduce_tail_seconds,
+            "first_map_start": self.first_map_start,
+            "last_map_end": self.last_map_end,
+            "first_reduce_done": self.first_reduce_done,
+            "last_reduce_done": self.last_reduce_done,
+            "counters": dict(self.counters),
+            "metrics": dict(self.metrics),
+            "phase_report": dict(self.phase_report),
+        }

@@ -63,6 +63,8 @@ class JobTracker:
             tt = TaskTracker(ctx, node)
             tt.provider = provider_cls(ctx, tt)
             ctx.trackers[node.name] = tt
+            for disk in node.fs.disks:
+                ctx.metrics.register(f"disk.{disk.name}", disk)
 
         # Job setup (setup task, InputFormat split computation, ...).
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
@@ -95,6 +97,9 @@ class JobTracker:
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
 
         counters = ctx.counters.as_dict()
+        # Always present so BENCH exports can compare designs: 0 means every
+        # serve was a cache hit (no TaskTracker-side disk read).
+        counters.setdefault("shuffle.tt_disk_read_bytes", 0.0)
         hits = counters.get("cache.hits", 0.0)
         misses = counters.get("cache.misses", 0.0)
         if hits + misses > 0:
@@ -102,6 +107,8 @@ class JobTracker:
         counters["disk.bytes_read"] = ctx.cluster.total_disk_bytes_read()
         counters["disk.bytes_written"] = ctx.cluster.total_disk_bytes_written()
         counters["net.bytes"] = ctx.cluster.fabric.flows.total_bytes
+
+        from repro.obs.phases import overlap_report
 
         return JobResult(
             conf=conf,
@@ -116,6 +123,9 @@ class JobTracker:
             last_reduce_done=max(self._reduce_done_times, default=self.sim.now),
             counters=counters,
             task_spans=list(ctx.spans),
+            metrics=ctx.metrics.collect(),
+            phase_spans=list(ctx.tracer.spans),
+            phase_report=overlap_report(ctx.tracer.spans),
         )
 
     # -- map scheduling ----------------------------------------------------------

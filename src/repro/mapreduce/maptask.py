@@ -78,6 +78,8 @@ def run_map_task(
 
     if ctx.first_map_start is None:
         ctx.first_map_start = sim.now
+    task_name = f"map-{map_id}"
+    attempt_start = sim.now
 
     # JVM launch + task init (holds a core: classloading is CPU work).
     yield from node.compute(cost.task_startup * jitter)
@@ -118,8 +120,10 @@ def run_map_task(
             ctx.counters.add("map.spill_bytes", out_unit)
 
         total_out = block.nbytes * expansion
+        ctx.tracer.record(task_name, "map", attempt_start, sim.now, total_out)
 
         if len(spills) > 1:
+            merge_start = sim.now
             final = node.fs.create(map_output_file_name(map_id))
             # Final on-disk merge of the spills: read all spilled bytes,
             # merge on CPU, and write the single partitioned output — the
@@ -139,6 +143,7 @@ def run_map_task(
             for spill in spills:
                 node.fs.delete(spill.name)
             ctx.counters.add("map.merge_bytes", total_out)
+            ctx.tracer.record(task_name, "map-merge", merge_start, sim.now, total_out)
         else:
             # Single spill: the spill file *is* the output (rename, no I/O).
             final = node.fs.rename(spills[0].name, map_output_file_name(map_id))

@@ -90,6 +90,7 @@ class ShuffleConsumer:
             self.ctx.counters.add("reduce.failed_attempts", 1)
             raise TaskFailure(f"reduce-{self.reduce_id}", self.attempt)
         cost = self.ctx.conf.costs
+        t0 = self.ctx.sim.now
         yield from self.node.compute(cost.cpu_seconds("reduce", nbytes) * jitter)
         yield from self.ctx.dfs.write_file_part(
             self.node,
@@ -100,6 +101,9 @@ class ShuffleConsumer:
         )
         self.bytes_reduced += nbytes
         self.ctx.counters.add("reduce.output_bytes", nbytes)
+        self.ctx.tracer.record(
+            f"reduce-{self.reduce_id}", "reduce", t0, self.ctx.sim.now, nbytes
+        )
 
 
 def engine_by_name(name: str) -> tuple[type[ShuffleProvider], type[ShuffleConsumer]]:

@@ -155,6 +155,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
             assert isinstance(provider, HttpShuffleProvider)
             if seg_bytes > conf.max_single_shuffle_fraction * self.capacity:
                 # Too large for memory: stream straight to a disk run.
+                t0 = self.ctx.sim.now
                 yield from provider.serve(self.node, meta.map_id, self.reduce_id)
                 run = self._new_run_file(f"seg-m{meta.map_id}")
                 yield from self.node.fs.write(
@@ -162,6 +163,13 @@ class HttpShuffleConsumer(ShuffleConsumer):
                 )
                 self._add_disk_run(run, seg_bytes)
                 self.ctx.counters.add("reduce.disk_shuffle_bytes", seg_bytes)
+                self.ctx.tracer.record(
+                    f"reduce-{self.reduce_id}",
+                    "shuffle",
+                    t0,
+                    self.ctx.sim.now,
+                    seg_bytes,
+                )
             else:
                 # 0.20.2's ShuffleRamManager: while the in-memory merge is
                 # draining the buffer, copiers must not start new in-memory
@@ -170,9 +178,17 @@ class HttpShuffleConsumer(ShuffleConsumer):
                 while self._memory_merging:
                     yield self._merge_free
                 yield self.mem.get(seg_bytes)  # reserve buffer space
+                t0 = self.ctx.sim.now
                 yield from provider.serve(self.node, meta.map_id, self.reduce_id)
                 self.mem_segments.append(seg_bytes)
                 self.mem_bytes += seg_bytes
+                self.ctx.tracer.record(
+                    f"reduce-{self.reduce_id}",
+                    "shuffle",
+                    t0,
+                    self.ctx.sim.now,
+                    seg_bytes,
+                )
                 if (
                     self.mem_bytes
                     >= conf.shuffle_merge_percent * self.capacity

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Generator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.packets import Packetizer
@@ -92,8 +92,15 @@ class QueueingProvider(ShuffleProvider):
         self.ctx.counters.add("shuffle.tt_disk_read_bytes", take)
         return False
 
-    def after_serve(self, req: DataRequest, meta: MapOutputMeta, eof: bool) -> None:
-        """Hook after a response is sent (cache upkeep)."""
+    def after_serve(
+        self, req: DataRequest, meta: MapOutputMeta, eof: bool, cached: bool = False
+    ) -> None:
+        """Hook after a response is sent (cache upkeep).
+
+        ``cached`` reports whether :meth:`fetch_payload` served this
+        response from memory — the engine that pinned the segment for the
+        duration of the send uses it to release that pin.
+        """
 
     # -- request handling ----------------------------------------------------
 
@@ -111,7 +118,7 @@ class QueueingProvider(ShuffleProvider):
             if take <= 0:
                 done.succeed(0.0)
                 continue
-            yield from self.fetch_payload(req, meta, file, take)
+            cached = yield from self.fetch_payload(req, meta, file, take)
             # Message accounting from the engine's packet plan.
             model = ctx.conf.record_model
             pairs = max(1, int(round(take / model.avg_pair_bytes)))
@@ -126,7 +133,7 @@ class QueueingProvider(ShuffleProvider):
             self.bytes_served += take
             ctx.counters.add("shuffle.bytes", take)
             eof = req.offset + take >= seg_bytes
-            self.after_serve(req, meta, eof)
+            self.after_serve(req, meta, eof, cached=bool(cached))
             done.succeed(take)
 
 
@@ -350,9 +357,13 @@ class StreamingConsumer(ShuffleConsumer):
     def _fetch_wave(self, state: FetchState) -> Generator[Event, Any, None]:
         """One network fetch batch for a levitated run."""
         wave = min(self._wave_for(state), state.fetch_remaining)
+        t0 = self.ctx.sim.now
         got = yield from self._request(state, wave)
         state.offset += got
         self.vm.feed(state.meta.map_id, got)
+        self.ctx.tracer.record(
+            f"reduce-{self.reduce_id}", "shuffle", t0, self.ctx.sim.now, got
+        )
 
     def _request(
         self, state: FetchState, nbytes: float
@@ -389,6 +400,7 @@ class StreamingConsumer(ShuffleConsumer):
     def _stage_run(self, state: FetchState) -> Generator[Event, Any, None]:
         """Fetch a whole overflow segment to local disk before the merge."""
         self._staging_active += 1
+        t0 = self.ctx.sim.now
         try:
             state.staged_file = self.node.fs.create(
                 f"staged/r{self.reduce_id}a{self.attempt}/m{state.meta.map_id}"
@@ -408,6 +420,13 @@ class StreamingConsumer(ShuffleConsumer):
             state.staged_done = True
             self._staged_pending -= 1
             self.ctx.counters.add("reduce.staged_bytes", state.seg_bytes)
+            self.ctx.tracer.record(
+                f"reduce-{self.reduce_id}",
+                "shuffle",
+                t0,
+                self.ctx.sim.now,
+                state.seg_bytes,
+            )
         finally:
             self._staging_active -= 1
 
@@ -417,6 +436,7 @@ class StreamingConsumer(ShuffleConsumer):
         wave = min(self._wave_for(state), remaining)
         if wave <= 0:
             return
+        t0 = self.ctx.sim.now
         yield from self.node.fs.read(
             state.staged_file,
             wave,
@@ -425,6 +445,9 @@ class StreamingConsumer(ShuffleConsumer):
         state.restore_offset += wave
         self.vm.feed(state.meta.map_id, wave)
         self.ctx.counters.add("reduce.restored_bytes", wave)
+        self.ctx.tracer.record(
+            f"reduce-{self.reduce_id}", "restore", t0, self.ctx.sim.now, wave
+        )
 
     # -- merge + reduce pipeline ------------------------------------------------------
 
@@ -448,7 +471,11 @@ class StreamingConsumer(ShuffleConsumer):
                 continue
             self._unpark_all()
             self._signal()  # frontier advanced: fetchers may re-target
+            t0 = sim.now
             yield from self.node.compute(
                 cost.cpu_seconds("merge", drained) * self.jitter
+            )
+            self.ctx.tracer.record(
+                f"reduce-{self.reduce_id}", "merge", t0, sim.now, drained
             )
             yield from self.reduce_and_write(drained, self.jitter)

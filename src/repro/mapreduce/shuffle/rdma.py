@@ -55,6 +55,7 @@ class RdmaShuffleProvider(QueueingProvider):
         self.prefetcher = (
             MapOutputPrefetcher(ctx, tt, self.cache) if caching and capacity > 0 else None
         )
+        ctx.metrics.register(f"cache.{tt.name}", self.cache.stats)
 
     def responder_threads(self) -> int:
         return self.ctx.conf.rdma_responder_threads
@@ -72,6 +73,10 @@ class RdmaShuffleProvider(QueueingProvider):
     ) -> Generator[Event, Any, bool]:
         seg_id = (req.map_id, req.reduce_id)
         if self.prefetcher is not None and self.cache.hit(seg_id, take):
+            # Pin for the duration of the send: eviction (explicit or by
+            # pressure) must not drop the segment mid-stream.  Released in
+            # :meth:`after_serve`.
+            self.cache.pin(seg_id)
             self.ctx.counters.add("cache.hit_bytes", take)
             self.ctx.counters.add("cache.hits", 1)
             return True
@@ -92,11 +97,22 @@ class RdmaShuffleProvider(QueueingProvider):
             self.prefetcher.demand_load(meta, file, req.reduce_id)
         return False
 
-    def after_serve(self, req: DataRequest, meta: MapOutputMeta, eof: bool) -> None:
-        if eof and self.prefetcher is not None:
+    def after_serve(
+        self, req: DataRequest, meta: MapOutputMeta, eof: bool, cached: bool = False
+    ) -> None:
+        if self.prefetcher is None:
+            return
+        seg_id = (req.map_id, req.reduce_id)
+        if cached:
+            # Release the streaming pin taken in fetch_payload; this also
+            # completes any eviction deferred while we were sending.
+            self.cache.unpin(seg_id)
+        if eof:
             # The segment's sole consumer has everything: free the space
             # ("adjust caching based on data availability and necessity").
-            self.cache.evict((req.map_id, req.reduce_id))
+            # If another responder still streams it, evict() defers until
+            # that responder's unpin.
+            self.cache.evict(seg_id)
 
 
 class RdmaShuffleConsumer(StreamingConsumer):

@@ -21,7 +21,6 @@ fabric` maps topology onto link sets.
 from __future__ import annotations
 
 import itertools
-from typing import Any
 
 from repro.sim.core import Event, Simulator
 

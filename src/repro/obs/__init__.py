@@ -1,0 +1,31 @@
+"""Job-wide observability: phase tracing, metrics federation, JSON export.
+
+The paper's evaluation is an argument about *where time goes*: how much
+of the shuffle hides behind the map phase, when merge starts relative to
+the first arriving packet, how much TaskTracker disk traffic the prefetch
+cache removes.  This package gives every experiment one uniform way to
+answer those questions:
+
+* :mod:`repro.obs.phases` — structured :class:`PhaseSpan` records emitted
+  by the tasks and shuffle engines, plus :func:`overlap_report`, which
+  quantifies the Figure-3 pipelining claim per reduce task;
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry` federating job
+  counters, per-TaskTracker cache statistics, and per-device utilisation
+  into one namespaced tree;
+* :mod:`repro.obs.export` — machine-readable benchmark payloads
+  (``BENCH_<figure>.json``) so the perf trajectory is tracked across PRs.
+"""
+
+from repro.obs.export import bench_payload, write_bench_json
+from repro.obs.phases import PhaseSpan, PhaseTracer, overlap_report, phase_windows
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "MetricsRegistry",
+    "PhaseSpan",
+    "PhaseTracer",
+    "bench_payload",
+    "overlap_report",
+    "phase_windows",
+    "write_bench_json",
+]

@@ -1,0 +1,68 @@
+"""Machine-readable benchmark export (``BENCH_<figure>.json``).
+
+Every figure benchmark writes one JSON document so the performance
+trajectory of the repo is tracked across PRs by tooling rather than by
+eyeballing ASCII tables.  The payload carries, per series and x-point:
+
+* total job execution time plus the phase milestones;
+* the Figure-3 overlap report (merge/shuffle/reduce pipelining);
+* headline counters — cache hit rate, TaskTracker disk-read bytes,
+  total disk and network traffic;
+* OSU-IB improvement factors over every other series at the same x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.report import FigureResult
+
+__all__ = ["bench_payload", "write_bench_json"]
+
+#: Series whose improvement over every sibling the payload reports.
+_OURS_MARKER = "OSU-IB"
+
+
+def _improvements(fig: "FigureResult") -> dict[str, dict[str, dict[str, float]]]:
+    """``{x: {ours_label: {baseline_label: fractional improvement}}}``."""
+    from repro.experiments.report import improvement
+
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for x in fig.xs():
+        at_x: dict[str, dict[str, float]] = {}
+        for ours in fig.series:
+            if _OURS_MARKER not in ours.label or x not in ours.points:
+                continue
+            vs = {
+                base.label: improvement(ours.points[x], base.points[x])
+                for base in fig.series
+                if base.label != ours.label and x in base.points
+            }
+            if vs:
+                at_x[ours.label] = vs
+        if at_x:
+            out[f"{x:g}"] = at_x
+    return out
+
+
+def bench_payload(fig: "FigureResult", scale: float | None = None) -> dict[str, Any]:
+    """The full JSON document for one figure run."""
+    payload = fig.to_dict()
+    payload["improvements"] = _improvements(fig)
+    if scale is not None:
+        payload["scale"] = scale
+    return payload
+
+
+def write_bench_json(
+    fig: "FigureResult", out_dir: str | os.PathLike[str] = ".", scale: float | None = None
+) -> str:
+    """Write ``BENCH_<figure>.json`` into ``out_dir``; returns the path."""
+    path = os.path.join(os.fspath(out_dir), f"BENCH_{fig.figure}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench_payload(fig, scale=scale), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

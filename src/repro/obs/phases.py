@@ -1,0 +1,187 @@
+"""Structured phase tracing and the Figure-3 overlap report.
+
+Tasks and shuffle engines emit :class:`PhaseSpan` records — ``(task,
+phase, t0, t1, bytes)`` — through the job's :class:`PhaseTracer`.  The
+phases in use:
+
+* ``"map"`` / ``"map-merge"`` — a MapTask's spill loop and its final
+  on-disk merge pass;
+* ``"shuffle"`` — one network fetch (an HTTP segment copy, or one
+  RDMA/Hadoop-A fetch wave, including whole-run staging transfers);
+* ``"restore"`` — re-reading a staged overflow run from local disk;
+* ``"merge"`` — merge work that feeds the reduce input (the streaming
+  engines' per-drain merge CPU; vanilla's in-memory/local-FS/final-pass
+  merges).  Vanilla's final merged-*stream* consumption inside the reduce
+  phase is accounted to ``"reduce"``, matching 0.20.2 where that merge is
+  fused into the reduce iterator;
+* ``"reduce"`` — applying the reduce function and writing output.
+
+:func:`overlap_report` condenses the spans into the quantities the
+paper's Figure 3 argues about, computed **per reduce task** and then
+aggregated: did merge start before that task's shuffle finished, did
+reduce start before its merge finished, and how much of the merge window
+the reduce window overlaps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["PhaseSpan", "PhaseTracer", "overlap_report", "phase_windows"]
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One contiguous interval of one phase of one task."""
+
+    task: str  # "map-3", "reduce-7", ...
+    phase: str  # "map" | "shuffle" | "merge" | "reduce" | ...
+    t0: float
+    t1: float
+    nbytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": self.task,
+            "phase": self.phase,
+            "t0": self.t0,
+            "t1": self.t1,
+            "nbytes": self.nbytes,
+        }
+
+
+class PhaseTracer:
+    """Collects phase spans for one job run.
+
+    Disabled tracers (``JobConf.phase_tracing=False``) drop records so
+    perf-sensitive paper-scale sweeps pay nothing but the call.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[PhaseSpan] = []
+
+    def record(
+        self, task: str, phase: str, t0: float, t1: float, nbytes: float = 0.0
+    ) -> None:
+        if not self.enabled:
+            return
+        if t1 < t0:
+            raise ValueError(f"span ends before it starts: {t0} .. {t1}")
+        self.spans.append(PhaseSpan(task, phase, t0, t1, nbytes))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def phase_windows(spans: list[PhaseSpan]) -> dict[str, dict[str, float]]:
+    """Per-phase envelope: start, end, busy seconds, bytes, span count."""
+    out: dict[str, dict[str, float]] = {}
+    for s in spans:
+        w = out.get(s.phase)
+        if w is None:
+            out[s.phase] = {
+                "start": s.t0,
+                "end": s.t1,
+                "busy_seconds": s.duration,
+                "bytes": s.nbytes,
+                "n_spans": 1.0,
+            }
+        else:
+            w["start"] = min(w["start"], s.t0)
+            w["end"] = max(w["end"], s.t1)
+            w["busy_seconds"] += s.duration
+            w["bytes"] += s.nbytes
+            w["n_spans"] += 1.0
+    return out
+
+
+def _interval_overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def _task_overlap(windows: dict[str, dict[str, float]]) -> dict[str, Any] | None:
+    """Figure-3 quantities for one reduce task's phase windows."""
+    shuffle = windows.get("shuffle")
+    merge = windows.get("merge")
+    reduce_ = windows.get("reduce")
+    if shuffle is None or reduce_ is None:
+        return None
+    out: dict[str, Any] = {
+        "shuffle_seconds": shuffle["end"] - shuffle["start"],
+        "merge_started_before_shuffle_done": False,
+        "reduce_started_before_merge_done": False,
+        "merge_lag_after_first_packet": None,
+        "reduce_merge_overlap_seconds": 0.0,
+        "reduce_merge_overlap_frac": 0.0,
+    }
+    if merge is not None:
+        out["merge_lag_after_first_packet"] = merge["start"] - shuffle["start"]
+        out["merge_started_before_shuffle_done"] = merge["start"] < shuffle["end"]
+        out["reduce_started_before_merge_done"] = reduce_["start"] < merge["end"]
+        ov = _interval_overlap(
+            reduce_["start"], reduce_["end"], merge["start"], merge["end"]
+        )
+        dur = merge["end"] - merge["start"]
+        out["reduce_merge_overlap_seconds"] = ov
+        out["reduce_merge_overlap_frac"] = ov / dur if dur > 0 else 0.0
+    return out
+
+
+def overlap_report(spans: list[PhaseSpan]) -> dict[str, Any]:
+    """Job-level pipelining report (the Figure-3 claim, quantified).
+
+    ``pipelined`` is True when the *majority* of reduce tasks both start
+    merging before their shuffle completes and start reducing before
+    their merge completes — true for the streaming engines, false for
+    vanilla's barrier (its reduce strictly follows every merge).
+    """
+    if not spans:
+        return {"phases": {}, "n_reduce_tasks": 0, "pipelined": False}
+
+    by_task: dict[str, list[PhaseSpan]] = defaultdict(list)
+    for s in spans:
+        if s.task.startswith("reduce-"):
+            by_task[s.task].append(s)
+
+    per_task = []
+    for task_spans in by_task.values():
+        t = _task_overlap(phase_windows(task_spans))
+        if t is not None:
+            per_task.append(t)
+
+    n = len(per_task)
+    report: dict[str, Any] = {
+        "phases": phase_windows(spans),
+        "n_reduce_tasks": n,
+        "pipelined": False,
+    }
+    if n == 0:
+        return report
+    merge_early = sum(1 for t in per_task if t["merge_started_before_shuffle_done"])
+    reduce_early = sum(1 for t in per_task if t["reduce_started_before_merge_done"])
+    lags = [
+        t["merge_lag_after_first_packet"]
+        for t in per_task
+        if t["merge_lag_after_first_packet"] is not None
+    ]
+    report.update(
+        {
+            "merge_before_shuffle_done_frac": merge_early / n,
+            "reduce_before_merge_done_frac": reduce_early / n,
+            "mean_merge_lag_after_first_packet": (
+                sum(lags) / len(lags) if lags else None
+            ),
+            "mean_reduce_merge_overlap_frac": (
+                sum(t["reduce_merge_overlap_frac"] for t in per_task) / n
+            ),
+            "pipelined": (merge_early > n / 2 and reduce_early > n / 2),
+        }
+    )
+    return report

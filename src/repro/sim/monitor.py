@@ -40,6 +40,10 @@ class Counter:
         for name, value in other._values.items():
             self._values[name] += value
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Flat view for :class:`repro.obs.registry.MetricsRegistry`."""
+        return self.as_dict()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({dict(self._values)!r})"
 
@@ -96,6 +100,16 @@ class Monitor:
             total += value * max(0.0, t1 - t0)
         return total / span
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Flat view for :class:`repro.obs.registry.MetricsRegistry`."""
+        return {
+            "n": float(len(self.values)),
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "time_weighted_mean": self.time_weighted_mean(),
+        }
+
 
 class UtilizationTracker:
     """Tracks busy/idle intervals of a device with multiplicity.
@@ -145,6 +159,10 @@ class UtilizationTracker:
         if elapsed <= 0:
             return 0.0
         return self._nonidle_time / elapsed
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Flat view for :class:`repro.obs.registry.MetricsRegistry`."""
+        return {"utilization": self.utilization(), "busy_time": self.busy_time}
 
 
 def summarize(values: list[float]) -> dict[str, Any]:

@@ -126,6 +126,17 @@ class DiskDevice:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Flat view for :class:`repro.obs.registry.MetricsRegistry`."""
+        return {
+            "utilization": self.utilization.utilization(),
+            "busy_seconds": self.utilization.busy_time,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "seeks": float(self.seeks),
+            "requests": float(self.requests),
+        }
+
     # -- internals ----------------------------------------------------------
 
     def _service_time(self, req: _DiskRequest) -> float:

@@ -121,6 +121,99 @@ def test_hit_rate():
     assert c.stats.lookups == 2
 
 
+# ---------------------------------------------------------------------------
+# Pinned-segment eviction deferral (regression: an explicit evict() used to
+# drop a pinned segment out from under the responder streaming it)
+# ---------------------------------------------------------------------------
+
+
+def test_evict_while_pinned_is_deferred():
+    c = PrefetchCache(100)
+    c.insert("seg", 50)
+    c.pin("seg")
+    assert not c.evict("seg")  # refused: a responder is mid-stream
+    assert "seg" in c
+    assert c.stats.deferred_evictions == 1
+    assert c.stats.invalidations == 0
+    c.unpin("seg")  # last pin released: deferred eviction completes
+    assert "seg" not in c
+    assert c.used_bytes == 0
+    assert c.stats.invalidations == 1
+
+
+def test_deferred_eviction_waits_for_last_pin():
+    c = PrefetchCache(100)
+    c.insert("seg", 50)
+    c.pin("seg")
+    c.pin("seg")  # two responders stream the same segment
+    assert not c.evict("seg")
+    c.unpin("seg")
+    assert "seg" in c  # the other responder is still streaming
+    c.unpin("seg")
+    assert "seg" not in c
+
+
+def test_fresh_hit_cancels_deferred_eviction():
+    c = PrefetchCache(100)
+    c.insert("seg", 50)
+    c.pin("seg")
+    assert not c.evict("seg")
+    assert c.hit("seg")  # new demand arrives before the unpin
+    c.unpin("seg")
+    assert "seg" in c  # still wanted: the deferral was cancelled
+
+
+def test_repeated_evict_while_pinned_counts_one_deferral():
+    c = PrefetchCache(100)
+    c.insert("seg", 50)
+    c.pin("seg")
+    assert not c.evict("seg")
+    assert not c.evict("seg")
+    assert c.stats.deferred_evictions == 1
+
+
+# ---------------------------------------------------------------------------
+# evictions (capacity pressure) vs invalidations (explicit) are distinct
+# ---------------------------------------------------------------------------
+
+
+def test_eviction_and_invalidation_counted_separately():
+    c = PrefetchCache(100)
+    c.insert("a", 60)
+    assert c.evict("a")  # consumer finished: explicit invalidation
+    assert c.stats.invalidations == 1
+    assert c.stats.evictions == 0
+    c.insert("low", 80, priority=0)
+    c.demand("vip")
+    assert c.insert("vip", 80)  # displaces "low" under pressure
+    assert c.stats.evictions == 1
+    assert c.stats.invalidations == 1
+
+
+# ---------------------------------------------------------------------------
+# Equal-priority pressure eviction respects recency (regression: _make_room
+# used to displace actively-hit residents for same-priority newcomers)
+# ---------------------------------------------------------------------------
+
+
+def test_equal_priority_hot_resident_survives_pressure():
+    c = PrefetchCache(100)
+    c.insert("hot", 60)
+    c.hit("hot")  # a reducer is actively fetching this segment
+    assert not c.insert("newcomer", 60)  # same priority: no displacement
+    assert "hot" in c
+    assert c.stats.rejected == 1
+    assert c.stats.evictions == 0
+
+
+def test_equal_priority_stale_resident_displaced():
+    c = PrefetchCache(100)
+    c.insert("stale", 60)  # never fetched since insertion
+    assert c.insert("newcomer", 60)
+    assert "stale" not in c and "newcomer" in c
+    assert c.stats.evictions == 1
+
+
 def test_negative_sizes_rejected():
     c = PrefetchCache(100)
     with pytest.raises(ValueError):
@@ -137,7 +230,7 @@ def test_negative_sizes_rejected():
 @given(
     ops=st.lists(
         st.tuples(
-            st.sampled_from(["insert", "lookup", "evict", "demand"]),
+            st.sampled_from(["insert", "lookup", "evict", "demand", "pin", "unpin"]),
             st.integers(min_value=0, max_value=20),  # segment id
             st.integers(min_value=0, max_value=400),  # size
         ),
@@ -157,6 +250,10 @@ def test_cache_never_exceeds_capacity(ops, capacity):
             c.lookup(seg, nbytes_hint=size)
         elif op == "evict":
             c.evict(seg)
+        elif op == "pin":
+            c.pin(seg)
+        elif op == "unpin":
+            c.unpin(seg)
         else:
             c.demand(seg)
         assert 0 <= c.used_bytes <= capacity + 1e-9

@@ -172,6 +172,49 @@ def test_fixed_pairs_partition_property(sizes, k):
 
 
 @given(
+    sizes=st.lists(
+        st.integers(min_value=64, max_value=20 * 1024), min_size=1, max_size=80
+    ),
+    budget=st.integers(min_value=24 * 1024, max_value=256 * 1024),
+)
+@settings(max_examples=100, deadline=None)
+def test_size_aware_plan_matches_real_packets(sizes, budget):
+    """plan() (analytic, perfect packing) agrees with packets() (real
+    cutter) within the never-split-a-pair slack — the Sort regime of
+    variable up-to-20 KB records that breaks Hadoop-A's fixed-pairs cut.
+    """
+    records = recs(*sizes)
+    p = SizeAwarePacketizer(budget)
+    actual = len(list(p.packets(records)))
+    total = sum(record_size(r) for r in records)
+    max_pair = max(record_size(r) for r in records)
+    plan = p.plan(total, len(records), total / len(records), max_pair)
+    # Perfect packing is a lower bound on any no-split packing...
+    assert plan.n_packets <= actual
+    # ...and every closed packet carries more than budget - max_pair bytes
+    # (else the next pair would have fitted), bounding the count above.
+    assert actual <= total // (budget - max_pair + 1) + 1
+    assert plan.max_packet_bytes >= max_pair
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=20 * 1024), max_size=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_all_policies_partition_variable_records(sizes):
+    """Every policy's packets() is an order-preserving partition, for the
+    full spread of record sizes (TeraSort ~100 B up to Sort ~20 KB)."""
+    records = recs(*sizes)
+    for packetizer in (
+        SizeAwarePacketizer(128 * 1024),
+        FixedPairsPacketizer(1310),
+        WholeFilePacketizer(),
+    ):
+        packets = list(packetizer.packets(records))
+        assert validate_packets(packets, records)
+
+
+@given(
     total=st.floats(min_value=1, max_value=1e9),
     pairs=st.integers(min_value=1, max_value=10_000_000),
 )

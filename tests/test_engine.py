@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.packets import FixedPairsPacketizer, SizeAwarePacketizer
-from repro.engine import EngineConfig, LocalJobRunner, identity_mapper, identity_reducer
+from repro.engine import EngineConfig, LocalJobRunner, identity_mapper
 from repro.engine.mapside import run_map_side
 from repro.engine.partition import HashPartitioner, RangePartitioner
 from repro.workloads import random_writer, teragen, teravalidate

@@ -1,8 +1,7 @@
 """JobTracker scheduling behaviour: locality, slots, slow-start."""
 
-import pytest
 
-from repro.cluster import build_cluster, westmere_cluster
+from repro.cluster import westmere_cluster
 from repro.mapreduce import run_job, terasort_job
 from repro.tools import phase_breakdown
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster import build_cluster, westmere_cluster
-from repro.hdfs.block import Block
 from repro.mapreduce.context import JobContext
 from repro.mapreduce.job import terasort_job
 from repro.mapreduce.maptask import map_output_file_name, run_map_task

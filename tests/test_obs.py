@@ -1,0 +1,247 @@
+"""Tests for the observability layer (repro.obs).
+
+Unit coverage for the metrics registry, the phase tracer, and the
+Figure-3 overlap report, plus an end-to-end check that a small simulated
+job produces the pipelining signature the paper claims: the rdma engine
+merges before its shuffle completes and reduces before its merge
+completes; vanilla http does neither (merge barrier).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import bench_payload, write_bench_json
+from repro.obs.phases import PhaseSpan, PhaseTracer, overlap_report, phase_windows
+from repro.obs.registry import MetricsRegistry
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+
+class _SnapSource:
+    def metrics_snapshot(self):
+        return {"hits": 3.0, "misses": 1.0}
+
+
+def test_registry_snapshot_object():
+    r = MetricsRegistry()
+    r.register("cache.node00", _SnapSource())
+    assert r.collect() == {"cache.node00.hits": 3.0, "cache.node00.misses": 1.0}
+
+
+def test_registry_mapping_and_callable_sources():
+    r = MetricsRegistry()
+    r.register("a", {"x": 1.0})
+    box = {"y": 0.0}
+    r.register("b", lambda: box)
+    box["y"] = 7.0  # callables are evaluated at collect time
+    assert r.collect() == {"a.x": 1.0, "b.y": 7.0}
+
+
+def test_registry_reregister_replaces():
+    r = MetricsRegistry()
+    r.register("job", {"v": 1.0})
+    r.register("job", {"v": 2.0})
+    assert r.collect() == {"job.v": 2.0}
+    r.unregister("job")
+    assert "job" not in r
+    assert r.collect() == {}
+
+
+def test_registry_rejects_bad_namespace_and_source():
+    r = MetricsRegistry()
+    with pytest.raises(ValueError):
+        r.register("", {})
+    with pytest.raises(ValueError):
+        r.register(".leading", {})
+    r.register("bad", object())
+    with pytest.raises(TypeError):
+        r.collect()
+
+
+def test_registry_tree_nests_namespaces():
+    r = MetricsRegistry()
+    r.register("cache.node00", {"hits": 3.0})
+    r.register("job", {"maps": 8.0})
+    tree = r.tree()
+    assert tree["cache"]["node00"]["hits"] == 3.0
+    assert tree["job"]["maps"] == 8.0
+
+
+# ---------------------------------------------------------------------------
+# PhaseTracer / phase_windows
+# ---------------------------------------------------------------------------
+
+
+def test_tracer_records_and_validates():
+    t = PhaseTracer()
+    t.record("map-0", "map", 1.0, 4.0, 100.0)
+    assert len(t) == 1
+    assert t.spans[0].duration == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        t.record("map-0", "map", 5.0, 4.0)
+
+
+def test_disabled_tracer_drops_records():
+    t = PhaseTracer(enabled=False)
+    t.record("map-0", "map", 1.0, 4.0)
+    assert len(t) == 0
+
+
+def test_phase_windows_aggregates():
+    spans = [
+        PhaseSpan("reduce-0", "shuffle", 0.0, 2.0, 10.0),
+        PhaseSpan("reduce-0", "shuffle", 3.0, 5.0, 20.0),
+    ]
+    w = phase_windows(spans)["shuffle"]
+    assert w["start"] == 0.0 and w["end"] == 5.0
+    assert w["busy_seconds"] == pytest.approx(4.0)
+    assert w["bytes"] == pytest.approx(30.0)
+    assert w["n_spans"] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# overlap_report
+# ---------------------------------------------------------------------------
+
+
+def _pipelined_spans(rid: int = 0) -> list[PhaseSpan]:
+    """A reduce task whose merge and reduce interleave with the shuffle."""
+    r = f"reduce-{rid}"
+    return [
+        PhaseSpan(r, "shuffle", 0.0, 10.0, 100.0),
+        PhaseSpan(r, "merge", 2.0, 11.0, 100.0),
+        PhaseSpan(r, "reduce", 4.0, 12.0, 100.0),
+    ]
+
+
+def _barrier_spans(rid: int = 0) -> list[PhaseSpan]:
+    """Vanilla: merge strictly after shuffle, reduce strictly after merge."""
+    r = f"reduce-{rid}"
+    return [
+        PhaseSpan(r, "shuffle", 0.0, 10.0, 100.0),
+        PhaseSpan(r, "merge", 10.0, 14.0, 100.0),
+        PhaseSpan(r, "reduce", 14.0, 20.0, 100.0),
+    ]
+
+
+def test_overlap_report_pipelined():
+    rep = overlap_report(_pipelined_spans(0) + _pipelined_spans(1))
+    assert rep["n_reduce_tasks"] == 2
+    assert rep["pipelined"] is True
+    assert rep["merge_before_shuffle_done_frac"] == 1.0
+    assert rep["reduce_before_merge_done_frac"] == 1.0
+    assert rep["mean_merge_lag_after_first_packet"] == pytest.approx(2.0)
+    assert rep["mean_reduce_merge_overlap_frac"] > 0.5
+
+
+def test_overlap_report_barrier():
+    rep = overlap_report(_barrier_spans(0) + _barrier_spans(1))
+    assert rep["pipelined"] is False
+    assert rep["merge_before_shuffle_done_frac"] == 0.0
+    assert rep["reduce_before_merge_done_frac"] == 0.0
+
+
+def test_overlap_report_majority_rule():
+    spans = _pipelined_spans(0) + _pipelined_spans(1) + _barrier_spans(2)
+    assert overlap_report(spans)["pipelined"] is True
+    spans = _pipelined_spans(0) + _barrier_spans(1) + _barrier_spans(2)
+    assert overlap_report(spans)["pipelined"] is False
+
+
+def test_overlap_report_empty_and_map_only():
+    assert overlap_report([])["pipelined"] is False
+    rep = overlap_report([PhaseSpan("map-0", "map", 0.0, 1.0)])
+    assert rep["n_reduce_tasks"] == 0
+    assert rep["pipelined"] is False
+
+
+# ---------------------------------------------------------------------------
+# End to end: a small job per engine (the Figure-3 acceptance check)
+# ---------------------------------------------------------------------------
+
+
+def _run(engine: str):
+    from repro.experiments.figures import run_job, terasort_job, westmere_cluster
+
+    conf = terasort_job(256 * 1024**2, 2, engine)
+    return run_job(westmere_cluster(2), "ipoib", conf)
+
+
+@pytest.mark.slow
+def test_job_phase_report_rdma_pipelined_http_not():
+    rdma = _run("rdma")
+    http = _run("http")
+    assert rdma.phase_report["pipelined"] is True
+    assert rdma.phase_report["reduce_before_merge_done_frac"] > 0.5
+    assert http.phase_report["pipelined"] is False
+    assert http.phase_report["reduce_before_merge_done_frac"] == 0.0
+    # The federated metrics tree reaches the job counters, every node's
+    # disks, and (rdma only) the per-TaskTracker cache stats.
+    assert any(k.startswith("job.") for k in rdma.metrics)
+    assert any(k.startswith("disk.") for k in rdma.metrics)
+    assert any(k.startswith("cache.") for k in rdma.metrics)
+    assert not any(k.startswith("cache.") for k in http.metrics)
+    # JobResult.to_dict() round-trips through JSON.
+    doc = json.loads(json.dumps(rdma.to_dict()))
+    assert doc["shuffle_engine"] == "rdma"
+    assert doc["phase_report"]["pipelined"] is True
+
+
+@pytest.mark.slow
+def test_phase_tracing_can_be_disabled():
+    from repro.experiments.figures import run_job, terasort_job, westmere_cluster
+
+    conf = terasort_job(256 * 1024**2, 2, "rdma", phase_tracing=False)
+    res = run_job(westmere_cluster(2), "ipoib", conf)
+    assert res.phase_spans == []
+    assert res.phase_report["pipelined"] is False  # no spans, no claim
+
+
+# ---------------------------------------------------------------------------
+# JSON bench export
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_write_bench_json(tmp_path):
+    from repro.experiments.report import FigureResult, Series
+
+    fig = FigureResult(figure="figX", title="t", xlabel="GB")
+    osu, ipoib = Series(label="OSU-IB (32Gbps)"), Series(label="IPoIB (32Gbps)")
+    osu.add(1, _run("rdma"))
+    ipoib.add(1, _run("http"))
+    fig.series = [osu, ipoib]
+
+    path = write_bench_json(fig, out_dir=tmp_path, scale=0.01)
+    assert path.endswith("BENCH_figX.json")
+    doc = json.loads(open(path, encoding="utf-8").read())
+    assert doc["scale"] == 0.01
+    # Per-design execution times and drill-down are present...
+    times = {s["label"]: s["points"]["1"] for s in doc["series"]}
+    assert set(times) == {"OSU-IB (32Gbps)", "IPoIB (32Gbps)"}
+    osu_res = doc["series"][0]["results"]["1"]
+    assert osu_res["counters"]["cache.hit_rate"] > 0.0
+    assert osu_res["counters"].get("shuffle.tt_disk_read_bytes", 0.0) >= 0.0
+    assert osu_res["counters"]["disk.bytes_read"] > 0.0
+    assert osu_res["counters"]["net.bytes"] > 0.0
+    assert osu_res["phase_report"]["pipelined"] is True
+    # ...as are the OSU-IB improvement factors over every sibling series.
+    imp = doc["improvements"]["1"]["OSU-IB (32Gbps)"]["IPoIB (32Gbps)"]
+    assert imp == pytest.approx(
+        1.0 - times["OSU-IB (32Gbps)"] / times["IPoIB (32Gbps)"]
+    )
+
+
+def test_bench_payload_without_results():
+    from repro.experiments.report import FigureResult, Series
+
+    fig = FigureResult(figure="figY", title="t", xlabel="GB")
+    s = Series(label="OSU-IB")
+    s.points[1] = 10.0  # points without full JobResults (hand-built)
+    fig.series = [s]
+    payload = bench_payload(fig)
+    assert payload["figure"] == "figY"
+    assert payload["improvements"] == {}  # no sibling series to compare
