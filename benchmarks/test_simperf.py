@@ -1,0 +1,137 @@
+"""Simulator-throughput benchmark: incremental re-rating vs the oracle.
+
+Runs the fig4a sweep twice — once with the default incremental flow
+network and once with the global water-filling oracle
+(``REPRO_FLOWNET=global``) — and records, per mode, the aggregated
+``net.*`` re-rating counters, ``sim.*`` event-kernel counters, wall-clock
+and events/sec.  The deterministic counters back the hard assertions:
+
+* re-rate work (touched flows per flow-population change) drops by at
+  least 2x vs the oracle;
+* the event kernel processes fewer events (superseded wake-ups no longer
+  transit the calendar as dead events);
+* figure outputs are unchanged — series times match the oracle to within
+  float accumulation noise (rates are bit-identical; lazy per-flow
+  progress drains bytes in fewer, larger chunks, so completion
+  timestamps may drift by last-ulp rounding).
+
+Wall-clock and events/sec are recorded in ``BENCH_simperf.json`` (not
+hard-asserted: they are machine-dependent) so the perf trajectory is a
+tracked series across PRs.
+
+The comparison runs at ``REPRO_SIMPERF_SCALE`` (default 0.04) rather
+than the figure benchmarks' ``REPRO_BENCH_SCALE``: the dual-mode sweep
+costs two full fig4a runs, and 0.04 keeps that under ~10 s while still
+exercising the dense all-to-all shuffle regime.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.figures import fig4a
+
+#: Relative tolerance for series-time equivalence between modes.  Rates
+#: are bit-identical; only byte-drain accumulation order differs.
+_SERIES_RTOL = 1e-6
+
+
+def _simperf_scale() -> float:
+    return float(os.environ.get("REPRO_SIMPERF_SCALE", 0.04))
+
+
+def _run_mode(mode: str, scale: float) -> dict:
+    """One fig4a sweep under ``REPRO_FLOWNET=mode``; aggregated counters."""
+    saved = os.environ.get("REPRO_FLOWNET")
+    os.environ["REPRO_FLOWNET"] = mode
+    try:
+        t0 = time.perf_counter()
+        fig = fig4a(scale=scale)
+        wall = time.perf_counter() - t0
+    finally:
+        if saved is None:
+            del os.environ["REPRO_FLOWNET"]
+        else:
+            os.environ["REPRO_FLOWNET"] = saved
+
+    counters: dict[str, float] = {}
+    jobs = 0
+    for series in fig.series:
+        for result in series.results.values():
+            jobs += 1
+            for key, value in result.metrics.items():
+                if key.startswith(("net.", "sim.")):
+                    counters[key] = counters.get(key, 0.0) + value
+    series_times = {
+        s.label: {f"{x:g}": t for x, t in sorted(s.points.items())}
+        for s in fig.series
+    }
+    return {
+        "mode": mode,
+        "jobs": jobs,
+        "wall_seconds": wall,
+        "events_per_second": counters.get("sim.events", 0.0) / wall,
+        "counters": counters,
+        "touched_per_change": (
+            counters["net.rerate_touched_flows"] / counters["net.changes"]
+        ),
+        "series": series_times,
+    }
+
+
+def _worst_series_delta(a: dict, b: dict) -> float:
+    worst = 0.0
+    for label, points in a["series"].items():
+        for x, t in points.items():
+            ref = b["series"][label][x]
+            worst = max(worst, abs(t - ref) / ref if ref else abs(t - ref))
+    return worst
+
+
+def test_simperf_incremental_vs_oracle():
+    scale = _simperf_scale()
+    incr = _run_mode("incremental", scale)
+    glob = _run_mode("global", scale)
+
+    # Figure outputs unchanged: every series time matches the oracle.
+    worst = _worst_series_delta(incr, glob)
+    assert worst <= _SERIES_RTOL, (
+        f"incremental series times drifted from the oracle by {worst:.3e}"
+    )
+
+    # >= 2x less re-rate work per flow-population change (deterministic).
+    reduction = glob["touched_per_change"] / incr["touched_per_change"]
+    assert reduction >= 2.0, (
+        f"re-rate work reduction {reduction:.2f}x < 2x "
+        f"(incremental {incr['touched_per_change']:.2f} vs "
+        f"oracle {glob['touched_per_change']:.2f} touched flows/change)"
+    )
+
+    # Wake-up hygiene: fewer calendar events overall, and far fewer
+    # superseded wake-ups (deterministic).
+    assert incr["counters"]["sim.events"] < glob["counters"]["sim.events"], (
+        "incremental mode should process fewer simulator events"
+    )
+    assert (
+        incr["counters"]["net.dead_wakeups"]
+        < 0.5 * glob["counters"]["net.dead_wakeups"]
+    ), "cancellable wakes should eliminate most dead wake-ups"
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "benchmark": "simperf",
+        "figure": "fig4a",
+        "scale": scale,
+        "modes": {m["mode"]: m for m in (incr, glob)},
+        "rerate_work_reduction": reduction,
+        "event_reduction": (
+            glob["counters"]["sim.events"] / incr["counters"]["sim.events"]
+        ),
+        "wall_speedup": glob["wall_seconds"] / incr["wall_seconds"],
+        "worst_series_delta": worst,
+    }
+    path = os.path.join(out_dir, "BENCH_simperf.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

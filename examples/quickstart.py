@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.core.packets import SizeAwarePacketizer
 from repro.engine import EngineConfig, LocalJobRunner
+from repro.obs.registry import MetricsRegistry
+from repro.tools import render_metrics_tree
 from repro.workloads import teragen, teravalidate
 
 
@@ -44,17 +46,18 @@ def main() -> int:
         return 1
 
     s = out.shuffle_stats
-    print(
-        f"shuffle: {s.packets} packets, {s.bytes / 1e6:.1f} MB, "
-        f"{s.records} records moved"
+    metrics = MetricsRegistry()
+    metrics.register(
+        "shuffle",
+        {
+            "packets": float(s.packets),
+            "bytes": float(s.bytes),
+            "records": float(s.records),
+        },
     )
     if out.cache_stats is not None:
-        c = out.cache_stats
-        print(
-            f"PrefetchCache: {c.hits} hits / {c.misses} misses "
-            f"({c.hit_rate():.0%} hit rate), {c.evictions} pressure evictions, "
-            f"{c.invalidations} consumer-done invalidations"
-        )
+        metrics.register("cache", out.cache_stats)
+    print(render_metrics_tree(metrics, title="job metrics"))
     sizes = [len(p) for p in out.partitions]
     print(f"reducer output rows: {sizes} (range-partitioned, globally ordered)")
     return 0

@@ -88,6 +88,18 @@ class JobContext:
         #: (job counters now, cache stats and disks as they come up).
         self.metrics = MetricsRegistry()
         self.metrics.register("job", self.counters)
+        #: Flow-network re-rating / wake-hygiene counters (fabric shared by
+        #: socket transports and the UCR verbs engines alike).
+        self.metrics.register("net", cluster.fabric)
+        #: Event-kernel throughput counters (lazily evaluated at collect
+        #: time, so the end-of-job snapshot sees the final totals).
+        self.metrics.register(
+            "sim",
+            lambda: {
+                "events": float(self.sim.event_count),
+                "queue_size": float(self.sim.queue_size),
+            },
+        )
         self.board = CompletionBoard(self)
         self.trackers: dict[str, "TaskTracker"] = {}
         #: map_id -> MapOutputMeta, filled as maps complete.

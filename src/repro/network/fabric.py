@@ -40,10 +40,16 @@ class Fabric:
     its :class:`FlowNetwork` so cross-traffic contends realistically.
     """
 
-    def __init__(self, sim: Simulator, spec: TransportSpec):
+    def __init__(
+        self, sim: Simulator, spec: TransportSpec, incremental: bool | None = None
+    ):
         self.sim = sim
         self.spec = spec
-        self.flows = FlowNetwork(sim)
+        #: ``incremental`` selects the flow network's re-rating mode:
+        #: component-scoped (default) or the global water-filling oracle
+        #: (see :mod:`repro.network.flows`); ``None`` defers to the
+        #: ``REPRO_FLOWNET`` environment variable.
+        self.flows = FlowNetwork(sim, incremental=incremental)
         self.transport = Transport(sim, self.flows, spec)
         self.interfaces: dict[str, NetworkInterface] = {}
 
@@ -62,3 +68,10 @@ class Fabric:
     def bytes_moved(self) -> float:
         """Total payload bytes accepted by the flow network so far."""
         return self.flows.total_bytes
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Fabric-level counters: the flow network's re-rating/wake stats
+        plus the attached-NIC population (``net.*`` namespace)."""
+        out = self.flows.metrics_snapshot()
+        out["interfaces"] = float(len(self.interfaces))
+        return out

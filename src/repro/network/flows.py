@@ -1,9 +1,9 @@
 """Progressive max-min fair bandwidth sharing.
 
 Each active transfer is a :class:`Flow` crossing a set of capacity-bounded
-:class:`Link` s.  Whenever a flow starts or finishes, every flow's progress
-is advanced at its previous rate and the rate vector is recomputed with the
-classic water-filling algorithm:
+:class:`Link` s.  Whenever a flow starts or finishes, affected flows'
+progress is advanced at their previous rates and the rate vector is
+recomputed with the classic water-filling algorithm:
 
 1. every link divides its residual capacity evenly among its unfixed flows;
 2. the most contended link (smallest fair share) pins its flows at that
@@ -14,17 +14,59 @@ A per-flow rate cap (the transport's effective single-stream bandwidth) is
 expressed as a private single-flow link, which folds it into the same
 algorithm with no special cases.
 
+Incremental re-rating
+---------------------
+Max-min fairness decomposes over connected components of the
+flow/link-sharing graph: fixing a flow during water-filling only ever
+drains residual capacity on links that flow crosses, so the sequence of
+(bottleneck, fair-share) decisions inside one component is independent of
+every other component.  The default ("incremental") mode exploits that:
+
+* **component-scoped re-rating** — a flow arrival or departure re-rates
+  only the connected component of flows that share a link (transitively)
+  with the changed flow; untouched components keep their rates.
+* **lazy per-flow progress** — each flow carries its own ``advanced_at``
+  timestamp and is drained only when its component is touched, so a
+  change never scans unrelated flows.
+* **single-flow fast path** — an uncontended flow (every one of its links
+  carries only it) is rated at its bottleneck capacity and given a
+  closed-form completion via :func:`serial_transfer_time`, with no
+  water-filling at all.
+* **cap-pinned fast path** — when every flow on the touched links carries
+  a private rate-cap link and each link's sum of caps stays below its
+  capacity (with margin), no shared link can ever become the bottleneck:
+  water-filling provably pins every flow at exactly its cap (the
+  ``cap/1`` division is bit-exact).  An arrival or departure in that
+  regime changes no other flow's rate, so it skips the component scan
+  and the re-rate altogether.  This is the dominant regime in the
+  paper's figures, where single-stream transport caps sit below NIC
+  line rate.
+* **wakeup hygiene** — completions are tracked in a lazily-invalidated
+  per-flow ETA heap; the simulator calendar holds at most one live wake
+  timer, which is :meth:`~repro.sim.core.Event.cancel` led when a
+  re-rating moves the next completion earlier.  Superseded wake-ups no
+  longer transit the event heap as dead events.
+
+The pre-existing global algorithm is retained verbatim as the reference
+oracle (``FlowNetwork(sim, incremental=False)``, or environment
+``REPRO_FLOWNET=global``); property tests assert both modes produce
+identical rate vectors.  Re-rate work, touched flows, and dead wake-ups
+are counted and exposed via :meth:`FlowNetwork.metrics_snapshot` for
+registration under ``net.*`` in a job's ``MetricsRegistry``.
+
 The module is deliberately independent of nodes/NICs — :mod:`repro.network.
 fabric` maps topology onto link sets.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import os
 
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Simulator, Timeout
 
-__all__ = ["FlowNetwork", "Flow", "Link"]
+__all__ = ["FlowNetwork", "Flow", "Link", "serial_transfer_time"]
 
 #: Bytes below which a flow is considered drained (guards float error).
 _EPSILON_BYTES = 1e-6
@@ -36,6 +78,15 @@ _EPSILON_RATE = 1e-9
 #: spin the wake loop at zero time forever.  One microsecond is far below
 #: the fidelity of the model.
 _MIN_TICK = 1e-6
+#: Rebuild the lazily-invalidated ETA heap once it exceeds this many
+#: entries beyond four per active flow.
+_ETA_COMPACT_SLACK = 64
+#: Head-room margin for the cap-pinned fast path: a link only counts as
+#: saturation-free when its flows' caps sum to below ``capacity * (1 -
+#: margin)``.  The slack (~1 byte/s at GB/s capacities) dwarfs the float
+#: rounding of the water-filling residual arithmetic, so the "this link
+#: can never bottleneck" proof is robust to last-ulp noise.
+_CAP_FIT_MARGIN = 1e-9
 
 
 class Link:
@@ -59,33 +110,108 @@ class Link:
 class Flow:
     """An in-flight fluid transfer."""
 
-    __slots__ = ("id", "links", "remaining", "rate", "event", "started_at", "size")
+    __slots__ = (
+        "id",
+        "links",
+        "remaining",
+        "_rate",
+        "event",
+        "started_at",
+        "size",
+        "advanced_at",
+        "eta_gen",
+        "net",
+        "cap_link",
+    )
 
     def __init__(self, fid: int, links: tuple[Link, ...], nbytes: float, event: Event, now: float):
         self.id = fid
         self.links = links
         self.remaining = float(nbytes)
         self.size = float(nbytes)
-        self.rate = 0.0
+        self._rate = 0.0
         self.event = event
         self.started_at = now
+        #: Simulation time up to which ``remaining`` reflects drained bytes
+        #: (lazy progress: advanced only when this flow's component changes).
+        self.advanced_at = now
+        #: Bumped whenever a new ETA is computed; stale heap entries carry
+        #: an older generation and are discarded when they surface.
+        self.eta_gen = 0
+        #: Owning network, set at admission (lazy rate materialisation).
+        self.net: "FlowNetwork | None" = None
+        #: The private rate-cap link, when the transfer carries one
+        #: (lets the cap-pinned fast path reason about caps statically).
+        self.cap_link: Link | None = None
+
+    @property
+    def rate(self) -> float:
+        """Current max-min fair rate.
+
+        Re-rating is batched per simulation timestamp (see
+        :meth:`FlowNetwork._flush`); reading a rate while a batch is
+        pending forces the flush first, so callers always observe the
+        same post-re-rate values the unbatched oracle would produce.
+        """
+        net = self.net
+        if net is not None and net._dirty_links:
+            net._flush()
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        self._rate = value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Flow {self.id} rem={self.remaining:.0f}B rate={self.rate/1e6:.1f}MB/s>"
+        return f"<Flow {self.id} rem={self.remaining:.0f}B rate={self._rate/1e6:.1f}MB/s>"
 
 
 class FlowNetwork:
-    """The set of active flows plus the re-rating machinery."""
+    """The set of active flows plus the re-rating machinery.
 
-    def __init__(self, sim: Simulator):
+    ``incremental`` selects component-scoped re-rating (the default);
+    ``False`` runs the original global water-filling on every change (the
+    equivalence oracle).  When ``None``, the ``REPRO_FLOWNET`` environment
+    variable picks the mode (``global`` selects the oracle).
+    """
+
+    def __init__(self, sim: Simulator, incremental: bool | None = None):
+        if incremental is None:
+            incremental = os.environ.get("REPRO_FLOWNET", "incremental").lower() != "global"
+        self.incremental = bool(incremental)
         self.sim = sim
         self._flows: dict[Flow, None] = {}  # insertion-ordered set
         self._fids = itertools.count()
-        self._last_update = sim.now
-        #: monotonically increasing; invalidates stale completion wakeups
+        self._last_update = sim.now  # oracle mode: global progress timestamp
+        #: oracle mode: monotonically increasing; invalidates stale wakeups
         self._generation = 0
         self.total_bytes = 0.0
         self.flow_count = 0
+        # Incremental mode: lazily-invalidated (eta, flow_id, gen, flow)
+        # min-heap plus the single live wake timer.
+        self._eta_heap: list[tuple[float, int, int, Flow]] = []
+        self._wake: Timeout | None = None
+        self._wake_at = float("inf")
+        # Links whose flow population changed since the last re-rate; the
+        # union of their components is re-rated once per timestamp by an
+        # end-of-timestamp hook (batched re-rating, no calendar entry).
+        self._dirty_links: list[Link] = []
+        self._flush_hooked = False
+        self._stats = {
+            "rerates": 0,
+            "rerate_touched_flows": 0,
+            "fastpath_rerates": 0,
+            "fastpath_admits": 0,
+            "fastpath_removals": 0,
+            "advanced_flows": 0,
+            "wakes": 0,
+            "spurious_wakes": 0,
+            "dead_wakeups": 0,
+            "completions": 0,
+            "eta_compactions": 0,
+            "changes": 0,
+            "flushes": 0,
+        }
 
     # -- public API ---------------------------------------------------------
 
@@ -104,53 +230,99 @@ class FlowNetwork:
             return event
         flow_links = tuple(links)
         fid = next(self._fids)
+        cap_link: Link | None = None
         if rate_cap is not None:
             if rate_cap <= 0:
                 raise ValueError(f"rate_cap must be positive, got {rate_cap}")
-            flow_links = flow_links + (Link(f"cap#{fid}", rate_cap),)
+            cap_link = Link(f"cap#{fid}", rate_cap)
+            flow_links = flow_links + (cap_link,)
         flow = Flow(fid, flow_links, nbytes, event, self.sim.now)
-        self._advance_progress()
-        self._flows[flow] = None
-        for link in flow.links:
-            link.flows[flow] = None
-        self.total_bytes += nbytes
-        self.flow_count += 1
-        self._rerate()
+        flow.cap_link = cap_link
+
+        if not self.incremental:
+            self._advance_progress()
+            self._admit(flow)
+            self._rerate()
+            return event
+
+        flow.net = self
+        self._admit(flow)
+        if self._cap_pinned(flow):
+            # Cap-pinned fast path: no shared link can bottleneck, so the
+            # newcomer is pinned at exactly its cap and nobody else moves.
+            flow._rate = cap_link.capacity  # type: ignore[union-attr]
+            self._stats["fastpath_admits"] += 1
+            self._stats["rerate_touched_flows"] += 1
+            self._push_eta(flow)
+            self._schedule_wake()
+            return event
+        # Otherwise admission marks the touched links dirty; the actual
+        # (component-scoped) re-rate is batched into one flush per
+        # timestamp, since intermediate rate vectors exist for zero
+        # simulated time and can never drain a byte.  Only opaque links
+        # are seeded: a link transparent *with* the newcomer admitted was
+        # transparent before it too, so it carries no influence in either
+        # equilibrium and its other flows provably keep their rates.
+        dirty = [
+            link
+            for link in flow.links
+            if link is not cap_link and not self._transparent(link)
+        ]
+        self._mark_dirty(dirty if dirty else flow.links)
         return event
 
     @property
     def active_flows(self) -> int:
         return len(self._flows)
 
-    # -- internals ----------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Re-rating / wake-hygiene counters for the ``net.*`` namespace."""
+        out = {name: float(value) for name, value in self._stats.items()}
+        rerates = self._stats["rerates"]
+        out["touched_per_rerate"] = (
+            self._stats["rerate_touched_flows"] / rerates if rerates else 0.0
+        )
+        out["mode_incremental"] = 1.0 if self.incremental else 0.0
+        out["flows_started"] = float(self.flow_count)
+        out["active_flows"] = float(len(self._flows))
+        out["bytes_total"] = float(self.total_bytes)
+        return out
 
-    def _advance_progress(self) -> None:
-        """Drain bytes at current rates for the time since the last change."""
-        dt = self.sim.now - self._last_update
-        self._last_update = self.sim.now
-        if dt <= 0 or not self._flows:
-            return
-        for flow in self._flows:
-            drained = flow.rate * dt
-            flow.remaining -= drained
-            for link in flow.links:
-                link.bytes_carried += drained
+    # -- shared internals ----------------------------------------------------
 
-    def _rerate(self) -> None:
-        """Recompute max-min fair rates and schedule the next completion."""
-        self._generation += 1
-        if not self._flows:
-            return
+    def _admit(self, flow: Flow) -> None:
+        self._flows[flow] = None
+        for link in flow.links:
+            link.flows[flow] = None
+        self.total_bytes += flow.size
+        self.flow_count += 1
+        self._stats["changes"] += 1
 
-        # Water-filling (all collections insertion-ordered for determinism).
-        unfixed: dict[Flow, None] = dict(self._flows)
-        residual: dict[Link, float] = {}
-        link_unfixed: dict[Link, int] = {}
+    def _finish(self, flow: Flow) -> None:
+        """Remove a drained flow and fire its completion event."""
+        self._flows.pop(flow, None)
+        flow.eta_gen += 1  # invalidate any live ETA entry
+        for link in flow.links:
+            link.flows.pop(flow, None)
+        self._stats["completions"] += 1
+        self._stats["changes"] += 1
+        flow.event.succeed(self.sim.now - flow.started_at)
+
+    def _water_fill(self, flows: list[Flow]) -> None:
+        """Max-min fair rates for ``flows`` (a union of whole components).
+
+        All collections are insertion-ordered for determinism; restricted
+        to one component this performs the exact same arithmetic, in the
+        same order, as a global pass does for that component's flows.
+        """
+        unfixed: dict[Flow, None] = dict.fromkeys(flows)
         links: dict[Link, None] = {}
-        for flow in self._flows:
-            flow.rate = 0.0
+        for flow in flows:
+            flow._rate = 0.0
             for link in flow.links:
                 links[link] = None
+        residual: dict[Link, float] = {}
+        link_unfixed: dict[Link, int] = {}
         for link in links:
             residual[link] = link.capacity
             link_unfixed[link] = sum(1 for f in link.flows if f in unfixed)
@@ -172,11 +344,304 @@ class FlowNetwork:
             if best_share < _EPSILON_RATE:
                 best_share = _EPSILON_RATE
             for flow in [f for f in bottleneck.flows if f in unfixed]:
-                flow.rate = best_share
+                flow._rate = best_share
                 del unfixed[flow]
                 for link in flow.links:
                     residual[link] = max(0.0, residual[link] - best_share)
                     link_unfixed[link] -= 1
+
+    # -- incremental mode ----------------------------------------------------
+
+    def _transparent(self, link: Link) -> bool:
+        """True when ``link`` can never be a water-filling bottleneck.
+
+        Holds when every flow on it is capped and the caps sum to below
+        capacity (with :data:`_CAP_FIT_MARGIN` head-room): the link's fair
+        share then always exceeds its smallest unfixed cap — the residual
+        (capacity minus already-fixed rates, each at most its cap) stays
+        above the sum of unfixed caps — so the link is never selected and
+        never fixes a flow.  Influence cannot propagate through such a
+        link, which both enables the cap-pinned fast path and lets the
+        component BFS prune it (transparency depends only on the link's
+        population, so a non-seed link that is transparent now was
+        transparent at the previous equilibrium too).
+        """
+        total = 0.0
+        for peer in link.flows:
+            peer_cap = peer.cap_link
+            if peer_cap is None:
+                return False
+            total += peer_cap.capacity
+        return total <= link.capacity * (1.0 - _CAP_FIT_MARGIN)
+
+    def _cap_pinned(self, flow: Flow) -> bool:
+        """True when ``flow``'s arrival/departure provably leaves every
+        other rate unchanged (and pins ``flow`` itself at exactly its cap).
+
+        Requires a private cap link plus every shared link transparent:
+        then ``flow`` can only be fixed via its own cap link, at the
+        bit-exact ``cap / 1`` share the global oracle would compute, and
+        no other flow's fixing sequence changes.
+        """
+        cap_link = flow.cap_link
+        if cap_link is None or cap_link.capacity < _EPSILON_RATE:
+            return False
+        return all(
+            link is cap_link or self._transparent(link) for link in flow.links
+        )
+
+    def _component(self, seed_links: tuple[Link, ...] | list[Link]) -> list[Flow]:
+        """Active flows whose rates may change given a population change on
+        ``seed_links``, in admission order (the oracle's iteration order).
+
+        Seed links are traversed unconditionally (their population changed,
+        so their flows' rates are in question), but the BFS only expands
+        through links that could actually carry influence: a transparent
+        link (see :meth:`_transparent`) never bottlenecks in either the
+        old or the new equilibrium, so flows beyond it provably keep
+        their rates and are pruned.  This splits the all-to-all shuffle
+        pattern into per-contended-link components instead of one giant
+        component spanning the whole fabric.
+        """
+        found: set[Flow] = set()
+        seen_links: set[Link] = set()
+        opaque: dict[Link, bool] = {}
+        pending: list[Link] = list(seed_links)
+        while pending:
+            link = pending.pop()
+            if link in seen_links:
+                continue
+            seen_links.add(link)
+            for flow in link.flows:
+                if flow not in found:
+                    found.add(flow)
+                    cap_link = flow.cap_link
+                    for nxt in flow.links:
+                        if nxt is cap_link or nxt in seen_links:
+                            continue
+                        blocked = opaque.get(nxt)
+                        if blocked is None:
+                            blocked = not self._transparent(nxt)
+                            opaque[nxt] = blocked
+                        if blocked:
+                            pending.append(nxt)
+        return sorted(found, key=lambda f: f.id)
+
+    def _mark_dirty(self, links: tuple[Link, ...] | list[Link]) -> None:
+        """Queue ``links`` for the per-timestamp batched re-rate.
+
+        The flush runs as an end-of-timestamp hook (:meth:`Simulator.
+        defer`), after every event at the current simulated time — so a
+        burst of admissions (and completions that immediately trigger the
+        next pipelined send) costs one component re-rate instead of one
+        per change, and the flush itself occupies no calendar entry.
+        Rates read before the flush fires are materialised on demand by
+        the :attr:`Flow.rate` property.
+        """
+        self._dirty_links.extend(links)
+        if not self._flush_hooked:
+            self._flush_hooked = True
+            self.sim.defer(self._on_flush_hook)
+
+    def _on_flush_hook(self) -> None:
+        self._flush_hooked = False
+        self._flush()
+
+    def _flush(self) -> None:
+        """Re-rate the union of components touched since the last flush."""
+        if not self._dirty_links:
+            return
+        seeds, self._dirty_links = self._dirty_links, []
+        self._stats["flushes"] += 1
+        component = self._component(seeds)
+        self._advance(component)
+        self._rerate_component(component)
+        self._schedule_wake()
+
+    def _advance(self, flows: list[Flow]) -> None:
+        """Drain bytes for ``flows`` at their current rates since each
+        flow's own last advance (lazy per-flow progress)."""
+        now = self.sim.now
+        stats = self._stats
+        for flow in flows:
+            dt = now - flow.advanced_at
+            if dt <= 0:
+                continue
+            flow.advanced_at = now
+            drained = flow._rate * dt
+            if drained:
+                flow.remaining -= drained
+                for link in flow.links:
+                    link.bytes_carried += drained
+            stats["advanced_flows"] += 1
+
+    def _rerate_component(self, component: list[Flow]) -> None:
+        """Recompute rates for one component and refresh its ETA entries."""
+        if not component:
+            return
+        self._stats["rerates"] += 1
+        self._stats["rerate_touched_flows"] += len(component)
+        if len(component) == 1 and all(
+            len(link.flows) == 1 for link in component[0].links
+        ):
+            # Analytic fast path: an uncontended flow owns every link it
+            # crosses, so its max-min rate is simply the bottleneck capacity.
+            (flow,) = component
+            flow._rate = max(
+                min(link.capacity for link in flow.links), _EPSILON_RATE
+            )
+            self._stats["fastpath_rerates"] += 1
+        else:
+            self._water_fill(component)
+        for flow in component:
+            if flow._rate > _EPSILON_RATE:
+                self._push_eta(flow)
+            else:
+                flow.eta_gen += 1  # starved: no completion schedulable yet
+
+    def _push_eta(self, flow: Flow) -> None:
+        flow.eta_gen += 1
+        eta = self.sim.now + serial_transfer_time(max(flow.remaining, 0.0), flow._rate)
+        heapq.heappush(self._eta_heap, (eta, flow.id, flow.eta_gen, flow))
+        if len(self._eta_heap) > _ETA_COMPACT_SLACK + 4 * len(self._flows):
+            live = [
+                entry
+                for entry in self._eta_heap
+                if entry[3] in self._flows and entry[2] == entry[3].eta_gen
+            ]
+            heapq.heapify(live)
+            self._eta_heap = live
+            self._stats["eta_compactions"] += 1
+
+    def _earliest_eta(self) -> float | None:
+        """Next completion time, purging stale heap heads."""
+        heap = self._eta_heap
+        while heap:
+            eta, _fid, gen, flow = heap[0]
+            if flow in self._flows and gen == flow.eta_gen:
+                return eta
+            heapq.heappop(heap)
+        return None
+
+    def _schedule_wake(self) -> None:
+        """Maintain the single live wake timer at the next completion time.
+
+        A pending wake that fires *earlier* than needed is kept (it will
+        re-arm itself as spurious); one that would fire *late* is
+        cancelled and replaced, so the calendar never holds a wake that
+        could miss a completion — and never accumulates dead ones.
+        """
+        eta = self._earliest_eta()
+        if eta is None:
+            if self._wake is not None:
+                self._wake.cancel()
+                self._stats["dead_wakeups"] += 1
+                self._wake = None
+                self._wake_at = float("inf")
+            return
+        target = max(self.sim.now + _MIN_TICK, eta)
+        if self._wake is not None:
+            if self._wake_at <= target:
+                return
+            self._wake.cancel()
+            self._stats["dead_wakeups"] += 1
+        self._wake = self.sim.timeout(target - self.sim.now)
+        self._wake_at = target
+        self._wake.add_callback(self._on_wake_incremental)
+
+    def _on_wake_incremental(self, wake: Event) -> None:
+        if wake is not self._wake:  # pragma: no cover - cancel() prevents this
+            self._stats["dead_wakeups"] += 1
+            return
+        self._wake = None
+        self._wake_at = float("inf")
+        self._stats["wakes"] += 1
+        now = self.sim.now
+        horizon = now + _MIN_TICK
+
+        # Flows whose latest ETA falls within one tick of now.
+        heap = self._eta_heap
+        due: list[Flow] = []
+        while heap:
+            eta, _fid, gen, flow = heap[0]
+            if flow not in self._flows or gen != flow.eta_gen:
+                heapq.heappop(heap)
+                continue
+            if eta > horizon:
+                break
+            heapq.heappop(heap)
+            due.append(flow)
+        if not due:
+            self._stats["spurious_wakes"] += 1
+            self._schedule_wake()
+            return
+
+        due.sort(key=lambda f: f.id)
+        self._advance(due)
+        finished: list[Flow] = []
+        for flow in due:
+            if flow.remaining <= max(_EPSILON_BYTES, flow._rate * _MIN_TICK):
+                finished.append(flow)
+            else:
+                self._push_eta(flow)  # woke a hair early: re-arm, same rate
+        if not finished:
+            self._stats["spurious_wakes"] += 1
+            self._schedule_wake()
+            return
+
+        seed_links: list[Link] = []
+        for flow in finished:
+            # Cap-pinned departures free no bandwidth anyone was waiting
+            # for (the links could never bottleneck with the flow present,
+            # let alone without it): survivors keep their rates, no
+            # re-rate needed.  Otherwise only the links that were opaque
+            # *with* the departing flow still aboard are seeded — a link
+            # transparent pre-departure stays transparent after it and
+            # carries no influence either way.  Both checks run before
+            # removal so the sum-of-caps reflects the pre-departure state.
+            if self._cap_pinned(flow):
+                self._stats["fastpath_removals"] += 1
+            else:
+                cap_link = flow.cap_link
+                seed_links.extend(
+                    link
+                    for link in flow.links
+                    if link is not cap_link and not self._transparent(link)
+                )
+            self._finish(flow)
+        if seed_links:
+            # Survivors sharing links with the departed flows are re-rated
+            # by the batched flush — which also absorbs any follow-on
+            # sends the completion events trigger at this same timestamp
+            # (the classic pipelined next-packet pattern), merging what
+            # used to be two or more global re-rates into one
+            # component-scoped pass.  The flush re-arms the wake timer.
+            self._mark_dirty(seed_links)
+        else:
+            self._schedule_wake()
+
+    # -- oracle mode (original global algorithm, kept as the reference) ------
+
+    def _advance_progress(self) -> None:
+        """Drain bytes at current rates for the time since the last change."""
+        dt = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if dt <= 0 or not self._flows:
+            return
+        for flow in self._flows:
+            drained = flow.rate * dt
+            flow.remaining -= drained
+            for link in flow.links:
+                link.bytes_carried += drained
+
+    def _rerate(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        self._generation += 1
+        if not self._flows:
+            return
+        self._stats["rerates"] += 1
+        self._stats["rerate_touched_flows"] += len(self._flows)
+        self._water_fill(list(self._flows))
 
         # Next completion.
         soonest = float("inf")
@@ -191,7 +656,9 @@ class FlowNetwork:
 
     def _on_wake(self, generation: int) -> None:
         if generation != self._generation:
+            self._stats["dead_wakeups"] += 1
             return  # superseded by a later re-rating
+        self._stats["wakes"] += 1
         self._advance_progress()
         finished = [
             f
@@ -199,13 +666,11 @@ class FlowNetwork:
             if f.remaining <= max(_EPSILON_BYTES, f.rate * _MIN_TICK)
         ]
         if not finished:
+            self._stats["spurious_wakes"] += 1
             self._rerate()
             return
         for flow in finished:
-            self._flows.pop(flow, None)
-            for link in flow.links:
-                link.flows.pop(flow, None)
-            flow.event.succeed(self.sim.now - flow.started_at)
+            self._finish(flow)
         self._rerate()
 
 

@@ -61,6 +61,7 @@ def write_bench_json(
     fig: "FigureResult", out_dir: str | os.PathLike[str] = ".", scale: float | None = None
 ) -> str:
     """Write ``BENCH_<figure>.json`` into ``out_dir``; returns the path."""
+    os.makedirs(os.fspath(out_dir), exist_ok=True)
     path = os.path.join(os.fspath(out_dir), f"BENCH_{fig.figure}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(bench_payload(fig, scale=scale), fh, indent=2, sort_keys=True)

@@ -79,7 +79,7 @@ class Event:
         processed.  ``None`` after processing.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -87,6 +87,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: bool = True
         self._defused = False
+        self._cancelled = False
 
     # -- inspection --------------------------------------------------------
 
@@ -152,6 +153,34 @@ class Event:
     def defuse(self) -> "Event":
         """Mark a potential failure of this event as intentionally ignored."""
         self._defused = True
+        return self
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has withdrawn the event."""
+        return self._cancelled
+
+    def cancel(self) -> "Event":
+        """Withdraw a scheduled event: its callbacks will never run.
+
+        This is the hygiene primitive for maintained wake-ups (see
+        :mod:`repro.network.flows`): instead of letting a superseded timer
+        transit the calendar as a dead event — paying a pop, an
+        ``event_count`` tick, and a callback dispatch — the owner cancels
+        it.  The calendar entry is skipped silently when it surfaces, and
+        the queue is compacted opportunistically when cancelled entries
+        pile up, so dead wake-ups no longer accumulate in
+        ``Simulator._queue``.
+
+        Cancelling an already-processed event is an error; cancelling
+        twice is a no-op.  Processes must not wait on a cancelled event
+        (it will never fire).
+        """
+        if self.callbacks is None:
+            raise SimulationError(f"cannot cancel {self!r}: already processed")
+        if not self._cancelled:
+            self._cancelled = True
+            self.sim._note_cancel()
         return self
 
     # -- composition -------------------------------------------------------
@@ -357,12 +386,18 @@ class Simulator:
         repository).
     """
 
+    #: Compact the calendar once this many cancelled entries are pending
+    #: *and* they outnumber live entries (amortised O(1) per cancel).
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Process | None = None
         self._event_count = 0
+        self._cancel_pending = 0
+        self._deferred: list[Callable[[], None]] = []
 
     # -- clock -------------------------------------------------------------
 
@@ -378,8 +413,23 @@ class Simulator:
 
     @property
     def event_count(self) -> int:
-        """Total number of events processed so far (diagnostics)."""
+        """Total number of events processed so far (diagnostics).
+
+        Cancelled events are skipped without counting: they were work the
+        simulation never performed.
+        """
         return self._event_count
+
+    @property
+    def queue_size(self) -> int:
+        """Calendar entries currently scheduled, including cancelled ones
+        not yet purged (diagnostics / heap-hygiene tests)."""
+        return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still sitting in the calendar (diagnostics)."""
+        return self._cancel_pending
 
     # -- factories ---------------------------------------------------------
 
@@ -403,6 +453,32 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def defer(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` once, at the end of the current timestamp.
+
+        End-of-timestamp hooks fire after every already-scheduled event at
+        the current simulated time has been processed, just before the
+        clock advances (or when the calendar drains).  Unlike a zero-delay
+        timeout, a deferred hook occupies no calendar entry, is not an
+        event (no ``event_count`` tick, no callback plumbing), and is
+        guaranteed to see the *final* state of the timestamp — which is
+        exactly what batched bookkeeping like the flow network's
+        per-timestamp re-rate needs.
+
+        Hooks run in registration order.  A hook may schedule new events
+        (including at the current time) or register further hooks; the
+        kernel keeps draining events and hooks until the timestamp is
+        quiescent.  A hook that unconditionally re-registers itself will
+        therefore spin the simulation at the current time, just as a
+        zero-delay timeout loop would.
+        """
+        self._deferred.append(fn)
+
+    def _run_deferred(self) -> None:
+        deferred, self._deferred = self._deferred, []
+        for fn in deferred:
+            fn()
+
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
@@ -410,13 +486,47 @@ class Simulator:
             self._queue, (self._now + delay, priority, next(self._seq), event)
         )
 
+    def _note_cancel(self) -> None:
+        """Record a cancellation; compact the calendar if dead entries dominate."""
+        self._cancel_pending += 1
+        if (
+            self._cancel_pending > self._COMPACT_MIN_CANCELLED
+            and self._cancel_pending * 2 > len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e[3]._cancelled]
+            heapq.heapify(self._queue)
+            self._cancel_pending = 0
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        Cancelled entries surfacing at the head of the calendar are purged
+        as a side effect.
+        """
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._cancel_pending -= 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        time, _prio, _seq, event = heapq.heappop(self._queue)
+        """Process exactly one (non-cancelled) event.
+
+        If end-of-timestamp hooks are pending and the next event lies in
+        the future (or the calendar is empty), the hooks run instead.
+        """
+        queue = self._queue
+        if self._deferred and self.peek() > self._now:
+            self._run_deferred()
+            return
+        while True:
+            time, _prio, _seq, event = heapq.heappop(queue)
+            if event._cancelled:
+                self._cancel_pending -= 1
+                if not queue:
+                    return  # calendar held only cancelled entries
+                continue
+            break
         if time < self._now:  # pragma: no cover - heap guarantees order
             raise SimulationError("time went backwards")
         self._now = time
@@ -448,12 +558,20 @@ class Simulator:
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
 
-        while self._queue:
+        while self._queue or self._deferred:
             if stop_event is not None and stop_event.processed:
                 break
-            if self._queue[0][0] > stop_at:
+            nxt = self.peek()
+            if self._deferred and nxt > self._now:
+                # The current timestamp is quiescent: run end-of-timestamp
+                # hooks before the clock moves (they may schedule events).
+                self._run_deferred()
+                continue
+            if nxt > stop_at:
                 self._now = stop_at
                 break
+            if nxt == float("inf"):
+                break  # calendar emptied by the cancelled-entry purge
             self.step()
         else:
             if stop_at != float("inf"):

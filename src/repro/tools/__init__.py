@@ -1,5 +1,6 @@
-"""Analysis utilities: task timelines and phase breakdowns."""
+"""Analysis utilities: task timelines, phase breakdowns, metrics trees."""
 
+from repro.tools.metrics_tree import render_metrics_tree
 from repro.tools.timeline import TaskSpan, phase_breakdown, render_gantt
 
-__all__ = ["TaskSpan", "phase_breakdown", "render_gantt"]
+__all__ = ["TaskSpan", "phase_breakdown", "render_gantt", "render_metrics_tree"]

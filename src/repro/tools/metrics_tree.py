@@ -1,0 +1,71 @@
+"""Pretty-printer for :meth:`repro.obs.registry.MetricsRegistry.tree`.
+
+Renders the nested metrics snapshot as an indented box-drawing tree, the
+textual sibling of :func:`repro.tools.timeline.render_gantt` — one call
+shows everything a job's collectors registered::
+
+    job
+    |- maps_completed  16
+    |- shuffle_bytes   1.95e+09
+    net
+    |- rerates         423
+    |- wakes           511
+
+The registry's ``tree()`` stores a leaf that shares its name with a
+subtree under the empty-string key (``{"cache": {"": 3.0, "hits": ...}}``);
+the renderer folds that value back onto the parent line.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+__all__ = ["render_metrics_tree"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _subtree_lines(node: Mapping[str, Any], prefix: str) -> list[str]:
+    lines: list[str] = []
+    items = [(k, v) for k, v in sorted(node.items()) if k != ""]
+    width = max((len(k) for k, v in items if not isinstance(v, Mapping)), default=0)
+    for i, (key, value) in enumerate(items):
+        last = i == len(items) - 1
+        branch, carry = ("└─ ", "   ") if last else ("├─ ", "│  ")
+        if isinstance(value, Mapping):
+            own = value.get("")
+            label = key if own is None else f"{key}  {_fmt(own)}"
+            lines.append(f"{prefix}{branch}{label}")
+            lines.extend(_subtree_lines(value, prefix + carry))
+        else:
+            lines.append(f"{prefix}{branch}{key:<{width}}  {_fmt(value)}")
+    return lines
+
+
+def render_metrics_tree(tree: Mapping[str, Any] | Any, title: str | None = None) -> str:
+    """Render a nested metrics mapping (or a ``MetricsRegistry``) as text.
+
+    Top-level namespaces become unindented headers; nested namespaces and
+    leaves hang off them with box-drawing branches.  Values are printed
+    with integers bare and floats in compact ``%g`` form.
+    """
+    if not isinstance(tree, Mapping):
+        tree = tree.tree()
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for key, value in sorted(tree.items()):
+        if isinstance(value, Mapping):
+            own = value.get("")
+            lines.append(key if own is None else f"{key}  {_fmt(own)}")
+            lines.extend(_subtree_lines(value, ""))
+        else:
+            lines.append(f"{key}  {_fmt(value)}")
+    return "\n".join(lines)

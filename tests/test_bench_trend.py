@@ -1,0 +1,138 @@
+"""tools/bench_trend.py — benchmark trend gate used by CI."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_trend.py"
+spec = importlib.util.spec_from_file_location("bench_trend", _TOOL)
+bench_trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_trend)
+
+
+def _figure_doc(factor: float, scale: float = 0.05) -> dict:
+    return {
+        "benchmark": "figure",
+        "figure": "fig4a",
+        "scale": scale,
+        "improvements": {
+            "20": {"OSU-IB (QDR)": {"10GigE": factor, "IPoIB (QDR)": factor / 2}}
+        },
+    }
+
+
+def _simperf_doc(rerate: float, events: float, scale: float = 0.04) -> dict:
+    return {
+        "benchmark": "simperf",
+        "figure": "fig4a",
+        "scale": scale,
+        "rerate_work_reduction": rerate,
+        "event_reduction": events,
+        "wall_speedup": 1.1,
+    }
+
+
+def _write(directory: Path, name: str, doc: dict) -> None:
+    (directory / name).write_text(json.dumps(doc))
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    fresh = tmp_path / "bench-out"
+    base = tmp_path / "baselines"
+    fresh.mkdir()
+    base.mkdir()
+    return fresh, base
+
+
+def test_matching_documents_pass(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40))
+    _write(fresh, "BENCH_fig4a.json", _figure_doc(0.42))
+    problems, notes = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+    assert any("compared at scale" in n for n in notes)
+
+
+def test_figure_drift_beyond_tolerance_fails(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40))
+    _write(fresh, "BENCH_fig4a.json", _figure_doc(0.55))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "drifted" in problems[0]
+
+
+def test_missing_improvement_key_fails(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40))
+    doc = _figure_doc(0.40)
+    del doc["improvements"]["20"]["OSU-IB (QDR)"]["IPoIB (QDR)"]
+    _write(fresh, "BENCH_fig4a.json", doc)
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "missing improvement" in problems[0]
+
+
+def test_scale_mismatch_skips_with_note(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40, scale=0.05))
+    _write(fresh, "BENCH_fig4a.json", _figure_doc(0.90, scale=0.01))
+    problems, notes = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+    assert any("scale mismatch" in n for n in notes)
+
+
+def test_baselined_benchmark_without_fresh_doc_fails(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "no fresh document" in problems[0]
+
+
+def test_fresh_doc_without_baseline_is_a_note_not_a_problem(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40))
+    _write(fresh, "BENCH_fig4a.json", _figure_doc(0.40))
+    _write(fresh, "BENCH_fig9.json", _figure_doc(0.30))
+    problems, notes = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+    assert any("new trend point" in n for n in notes)
+
+
+def test_simperf_regression_is_one_sided(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_simperf.json", _simperf_doc(2.2, 1.03))
+    # Faster than baseline: fine.
+    _write(fresh, "BENCH_simperf.json", _simperf_doc(3.0, 1.20))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+    # Losing the speedup: gated.
+    _write(fresh, "BENCH_simperf.json", _simperf_doc(1.4, 1.03))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "rerate_work_reduction" in problems[0]
+
+
+def test_update_baselines_prunes_noise(dirs):
+    fresh, base = dirs
+    doc = _simperf_doc(2.28, 1.03)
+    doc["wall_seconds"] = 3.63  # machine-dependent, must not be committed
+    _write(fresh, "BENCH_simperf.json", doc)
+    written = bench_trend.update_baselines(fresh, base)
+    assert written == [str(base / "BENCH_simperf.json")]
+    committed = json.loads((base / "BENCH_simperf.json").read_text())
+    assert committed["rerate_work_reduction"] == 2.28
+    assert "wall_seconds" not in committed and "wall_speedup" not in committed
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+
+
+def test_cli_exit_codes(dirs, capsys):
+    fresh, base = dirs
+    _write(base, "BENCH_fig4a.json", _figure_doc(0.40))
+    _write(fresh, "BENCH_fig4a.json", _figure_doc(0.41))
+    argv = ["--bench-dir", str(fresh), "--baseline-dir", str(base)]
+    assert bench_trend.main(argv) == 0
+    _write(fresh, "BENCH_fig4a.json", _figure_doc(0.90))
+    assert bench_trend.main(argv) == 1
+    assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""repro.tools.metrics_tree — textual renderer for MetricsRegistry.tree()."""
+
+from repro.obs.registry import MetricsRegistry
+from repro.tools import render_metrics_tree
+
+
+def test_renders_nested_mapping_with_branches():
+    out = render_metrics_tree(
+        {"job": {"maps": 16.0, "bytes": 1.95e9}, "net": {"rerates": 423.0}}
+    )
+    lines = out.splitlines()
+    assert lines[0] == "job"
+    assert any(line.startswith("├─ bytes") for line in lines)
+    assert any(line.startswith("└─ maps") for line in lines)
+    assert "1950000000" in out and "16" in out and "423" in out
+
+
+def test_accepts_registry_and_folds_own_value_onto_parent():
+    metrics = MetricsRegistry()
+    metrics.register("cache", {"": 3.0, "hits": 10.0, "misses": 2.0})
+    out = render_metrics_tree(metrics)
+    lines = out.splitlines()
+    # The subtree's own value ("" key) rides on the header line, and the
+    # "" key itself never shows up as a branch.
+    assert lines[0] == "cache  3"
+    assert not any('""' in line or "─   " in line for line in lines)
+    assert any("hits" in line and "10" in line for line in lines)
+
+
+def test_title_and_leaf_alignment():
+    out = render_metrics_tree(
+        {"sim": {"events": 7.0, "queue_size_max": 12.0}}, title="snapshot"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "snapshot"
+    # Sibling leaf values line up in one column.
+    cols = {line.rindex(" ") for line in lines if "─" in line}
+    assert len(cols) == 1
+
+
+def test_integral_floats_print_bare_and_others_compact():
+    out = render_metrics_tree({"x": 2.0, "y": 0.123456789})
+    assert "x  2" in out
+    assert "y  0.123457" in out

@@ -1,0 +1,114 @@
+"""Event.cancel / Simulator.defer kernel fast paths (wake-up hygiene)."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+
+
+def test_cancel_skips_callbacks_and_event_count():
+    sim = Simulator()
+    fired = []
+    keep = sim.timeout(1.0)
+    keep.add_callback(lambda e: fired.append("keep"))
+    dead = sim.timeout(0.5)
+    dead.add_callback(lambda e: fired.append("dead"))
+    dead.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert dead.cancelled and not dead.processed
+    # The cancelled event never transited the calendar as work.
+    assert sim.event_count == 1
+    assert sim.now == 1.0
+
+
+def test_cancel_after_processing_raises():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        t.cancel()
+
+
+def test_cancel_twice_is_noop():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    t.cancel()
+    t.cancel()
+    assert sim.cancelled_pending == 1
+    sim.run()
+    assert sim.now == 0.0  # nothing live was scheduled
+
+
+def test_peek_purges_cancelled_heads():
+    sim = Simulator()
+    early = sim.timeout(0.5)
+    sim.timeout(2.0)
+    early.cancel()
+    assert sim.peek() == 2.0
+    assert sim.cancelled_pending == 0  # purged by peek
+
+
+def test_mass_cancel_compacts_the_calendar():
+    sim = Simulator()
+    sim.timeout(1000.0)  # one live survivor
+    dead = [sim.timeout(float(i + 1)) for i in range(200)]
+    assert sim.queue_size == 201
+    for t in dead:
+        t.cancel()
+    # Compaction kicked in once cancelled entries dominated: the heap no
+    # longer carries hundreds of dead wake-ups.
+    assert sim.queue_size < 70
+    sim.run()
+    assert sim.now == 1000.0
+
+
+def test_run_terminates_when_everything_is_cancelled():
+    sim = Simulator()
+    for t in [sim.timeout(float(i + 1)) for i in range(5)]:
+        t.cancel()
+    sim.run()
+    assert sim.now == 0.0
+    assert sim.event_count == 0
+
+
+def test_defer_runs_after_current_timestamp_events():
+    sim = Simulator()
+    order = []
+    sim.timeout(0.0).add_callback(lambda e: order.append("event@0"))
+    sim.timeout(0.0).add_callback(lambda e: sim.defer(lambda: order.append("hook@0")))
+    sim.timeout(1.0).add_callback(lambda e: order.append("event@1"))
+    sim.run()
+    # The hook ran after every event at t=0 but before the clock advanced.
+    assert order == ["event@0", "hook@0", "event@1"]
+
+
+def test_defer_hook_may_extend_the_timestamp():
+    sim = Simulator()
+    order = []
+
+    def hook():
+        order.append(("hook", sim.now))
+        t = sim.timeout(0.0)
+        t.add_callback(lambda e: order.append(("followup", sim.now)))
+
+    sim.timeout(0.0).add_callback(lambda e: sim.defer(hook))
+    sim.timeout(2.0).add_callback(lambda e: order.append(("later", sim.now)))
+    sim.run()
+    assert order == [("hook", 0.0), ("followup", 0.0), ("later", 2.0)]
+
+
+def test_defer_runs_when_calendar_drains():
+    sim = Simulator()
+    ran = []
+    sim.defer(lambda: ran.append(sim.now))
+    sim.run()
+    assert ran == [0.0]
+
+
+def test_defer_ordering_is_registration_order():
+    sim = Simulator()
+    order = []
+    sim.defer(lambda: order.append(1))
+    sim.defer(lambda: order.append(2))
+    sim.run()
+    assert order == [1, 2]

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Cross-PR benchmark trend check.
+
+Compares freshly produced ``BENCH_*.json`` documents (written by the
+``benchmarks/`` suite, see ``REPRO_BENCH_OUT``) against the baselines
+committed under ``benchmarks/baselines/``:
+
+* **figure benchmarks** — every OSU-IB improvement factor must match the
+  baseline within ``--tolerance`` (absolute, on the fractional
+  improvement).  A drift means the reproduced figure changed shape, which
+  is a modelling regression unless the baseline is deliberately updated.
+* **simperf** — the simulator-perf ratios (``rerate_work_reduction``,
+  ``event_reduction``) must not fall below baseline by more than the
+  tolerance (one-sided: getting faster is fine, losing the incremental
+  speedup is a regression).
+
+Comparisons are scale-matched: a document whose ``scale`` differs from
+the baseline's is skipped with a warning rather than mis-compared.
+
+Exit status is non-zero when any comparison fails or a baselined
+benchmark produced no fresh document, so CI can gate on it::
+
+    python tools/bench_trend.py --bench-dir bench-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.05
+
+#: simperf ratio keys checked one-sidedly (below baseline - tol fails).
+_SIMPERF_RATIOS = ("rerate_work_reduction", "event_reduction")
+
+
+def _load(path: Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _walk_improvements(doc: dict):
+    """Yield ``(x, ours, baseline_label, factor)`` from a figure payload."""
+    for x, at_x in doc.get("improvements", {}).items():
+        for ours, vs in at_x.items():
+            for base_label, factor in vs.items():
+                yield x, ours, base_label, factor
+
+
+def compare_figure(name: str, fresh: dict, base: dict, tolerance: float) -> list[str]:
+    problems = []
+    got = {(x, o, b): f for x, o, b, f in _walk_improvements(fresh)}
+    want = {(x, o, b): f for x, o, b, f in _walk_improvements(base)}
+    if not want:
+        problems.append(f"{name}: baseline has no improvement factors")
+    for key, factor in want.items():
+        x, ours, base_label = key
+        if key not in got:
+            problems.append(f"{name}: missing improvement {ours} vs {base_label} @ {x}")
+            continue
+        drift = abs(got[key] - factor)
+        if drift > tolerance:
+            problems.append(
+                f"{name}: {ours} vs {base_label} @ {x}: improvement "
+                f"{got[key]:+.3f} drifted {drift:.3f} from baseline "
+                f"{factor:+.3f} (tolerance {tolerance})"
+            )
+    return problems
+
+
+def compare_simperf(name: str, fresh: dict, base: dict, tolerance: float) -> list[str]:
+    problems = []
+    for key in _SIMPERF_RATIOS:
+        if key not in base:
+            continue
+        if key not in fresh:
+            problems.append(f"{name}: missing ratio {key}")
+            continue
+        if fresh[key] < base[key] - tolerance:
+            problems.append(
+                f"{name}: {key} fell to {fresh[key]:.3f} from baseline "
+                f"{base[key]:.3f} (tolerance {tolerance})"
+            )
+    return problems
+
+
+def check(
+    bench_dir: str | os.PathLike[str],
+    baseline_dir: str | os.PathLike[str],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[str], list[str]]:
+    """Compare every baselined benchmark; returns (problems, notes)."""
+    bench_dir, baseline_dir = Path(bench_dir), Path(baseline_dir)
+    problems: list[str] = []
+    notes: list[str] = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        problems.append(f"no baselines found under {baseline_dir}")
+    for base_path in baselines:
+        name = base_path.name
+        fresh_path = bench_dir / name
+        if not fresh_path.exists():
+            problems.append(f"{name}: no fresh document in {bench_dir}")
+            continue
+        base = _load(base_path)
+        fresh = _load(fresh_path)
+        if fresh.get("scale") != base.get("scale"):
+            notes.append(
+                f"{name}: scale mismatch (fresh {fresh.get('scale')} vs "
+                f"baseline {base.get('scale')}), skipped"
+            )
+            continue
+        if base.get("benchmark") == "simperf":
+            problems += compare_simperf(name, fresh, base, tolerance)
+        else:
+            problems += compare_figure(name, fresh, base, tolerance)
+        notes.append(f"{name}: compared at scale {base.get('scale')}")
+    for fresh_path in sorted(bench_dir.glob("BENCH_*.json")):
+        if not (baseline_dir / fresh_path.name).exists():
+            notes.append(f"{fresh_path.name}: no baseline yet (new trend point)")
+    return problems, notes
+
+
+def prune_baseline(doc: dict) -> dict:
+    """The subset of a benchmark document worth committing as a baseline."""
+    if doc.get("benchmark") == "simperf":
+        keep = ("benchmark", "figure", "scale") + _SIMPERF_RATIOS
+        return {key: doc[key] for key in keep if key in doc}
+    return {
+        "figure": doc.get("figure"),
+        "scale": doc.get("scale"),
+        "improvements": doc.get("improvements", {}),
+    }
+
+
+def update_baselines(
+    bench_dir: str | os.PathLike[str], baseline_dir: str | os.PathLike[str]
+) -> list[str]:
+    """Write pruned baselines for every fresh document; returns paths."""
+    bench_dir, baseline_dir = Path(bench_dir), Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for fresh_path in sorted(bench_dir.glob("BENCH_*.json")):
+        out = baseline_dir / fresh_path.name
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(prune_baseline(_load(fresh_path)), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(str(out))
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-dir", default=".", help="fresh BENCH_*.json directory")
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(repo_root / "benchmarks" / "baselines"),
+        help="committed baseline directory",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite the committed baselines from the fresh documents",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_baselines:
+        for path in update_baselines(args.bench_dir, args.baseline_dir):
+            print(f"  wrote {path}")
+        return 0
+
+    problems, notes = check(args.bench_dir, args.baseline_dir, args.tolerance)
+    for note in notes:
+        print(f"  {note}")
+    if problems:
+        print(f"bench trend check FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("bench trend check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
