@@ -43,6 +43,10 @@ class Cluster:
         ]
         self.by_name: dict[str, Node] = {n.name: n for n in self.nodes}
         self.rng = RandomStreams(spec.seed)
+        #: Fault injector (repro.faults.FaultInjector) when a job with a
+        #: fault plan runs on this cluster; None otherwise.  HDFS and the
+        #: transports consult it for node/link liveness.
+        self.faults = None
 
     @property
     def n_nodes(self) -> int:

@@ -94,7 +94,12 @@ def render_table(fig: FigureResult) -> str:
         row = f"{s.label:{label_w}}"
         for x in xs:
             value = s.points.get(x)
-            row += f"{value:>12.1f}" if value is not None else f"{'-':>12}"
+            # Missing points and NaN milestones (e.g. a run where no
+            # reduce completed) both render as "-" rather than a number.
+            if value is None or value != value:
+                row += f"{'-':>12}"
+            else:
+                row += f"{value:>12.1f}"
         lines.append(row)
     for note in fig.notes:
         lines.append(f"  note: {note}")

@@ -1,0 +1,339 @@
+"""Deterministic fault injection (node crashes, link flaps, disk errors).
+
+The paper's OSU-IB design replaces Hadoop's HTTP shuffle — and with it the
+battle-tested fetch-failure machinery (copier backoff, penalty boxes,
+fetch-failure reports that re-execute maps).  To ask "does the RDMA
+advantage survive a flaky fabric?" the simulation needs failure as a
+first-class, *measurable* axis: a :class:`FaultPlan` is a seeded schedule
+of faults, and a :class:`FaultInjector` is its per-job runtime attached to
+the cluster (``ctx.faults``) when ``JobConf.fault_plan`` is set.
+
+Fault kinds
+-----------
+* :class:`NodeCrash` — the node goes away permanently: its TaskTracker
+  stops serving, running attempts there are lost, completed map outputs
+  hosted there become unfetchable (discovered lazily through fetch-failure
+  reports, as in Hadoop).
+* :class:`LinkFlap` — the node's NIC/port is down for a window: sends to
+  or from it fail, UCR endpoints are torn down and must pay
+  re-establishment.
+* :class:`ResponderStall` — shuffle service threads on the node hang for
+  a window (GC pause / overloaded DataEngine); requests are served after
+  the window, not failed.
+* ``disk_error_rate`` — each provider-side segment read fails with this
+  probability (drawn from a named ``sim.rng`` stream, so runs stay
+  reproducible bit-for-bit).
+
+Everything is deterministic: plan times are fixed simulation timestamps
+and the only randomness (disk errors) comes from the cluster's seeded
+stream family.  When no plan is configured none of this is instantiated —
+the no-fault path stays event-for-event identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.sim.core import Event, Simulator
+from repro.sim.monitor import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFlap",
+    "NodeCrash",
+    "ResponderStall",
+    "seeded_fault_plan",
+    "standard_fault_plan",
+]
+
+
+class FaultError(Exception):
+    """An injected failure surfacing on a fetch/send path.
+
+    ``kind`` is one of ``"crash"`` (the serving node is dead), ``"link"``
+    (a flap window covers one endpoint), ``"disk"`` (segment read error),
+    or ``"lost"`` (the requested map output was invalidated).
+    """
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__(f"{kind}: {detail}" if detail else kind)
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """The node fails permanently at ``at`` seconds."""
+
+    at: float
+    node: str
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """The node's port is down during ``[at, at + duration)``."""
+
+    at: float
+    node: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class ResponderStall:
+    """Shuffle service threads on the node hang during the window."""
+
+    at: float
+    node: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, hashable fault schedule (safe inside the frozen JobConf)."""
+
+    crashes: tuple[NodeCrash, ...] = ()
+    flaps: tuple[LinkFlap, ...] = ()
+    stalls: tuple[ResponderStall, ...] = ()
+    #: Probability that one provider-side segment read fails.
+    disk_error_rate: float = 0.0
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.disk_error_rate < 1.0:
+            raise ValueError(f"disk_error_rate {self.disk_error_rate} not in [0, 1)")
+        for fault in (*self.crashes, *self.flaps, *self.stalls):
+            if fault.at < 0:
+                raise ValueError(f"fault time {fault.at} is negative: {fault}")
+        for window in (*self.flaps, *self.stalls):
+            if window.duration <= 0:
+                raise ValueError(f"non-positive window duration: {window}")
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crashes or self.flaps or self.stalls or self.disk_error_rate > 0
+        )
+
+    def nodes_referenced(self) -> set[str]:
+        return {f.node for f in (*self.crashes, *self.flaps, *self.stalls)}
+
+
+def standard_fault_plan(
+    node_names: Sequence[str],
+    runtime_hint: float,
+    disk_error_rate: float = 0.05,
+    name: str = "standard",
+) -> FaultPlan:
+    """The chaos-benchmark schedule: 1 crash mid-shuffle + 2 link flaps.
+
+    Fault times are fractions of ``runtime_hint`` — a measured fault-free
+    runtime — so the same plan shape scales with ``REPRO_BENCH_SCALE``.
+    The last node crashes at 55% of the run (maps have completed there and
+    reducers are mid-shuffle); two earlier/later flaps hit surviving nodes.
+    """
+    nodes = list(node_names)
+    if len(nodes) < 2:
+        raise ValueError("standard_fault_plan needs >= 2 nodes (1 must survive)")
+    if runtime_hint <= 0:
+        raise ValueError(f"runtime_hint must be positive, got {runtime_hint}")
+    survivors = nodes[:-1]
+    flap_len = 0.06 * runtime_hint
+    return FaultPlan(
+        crashes=(NodeCrash(at=0.55 * runtime_hint, node=nodes[-1]),),
+        flaps=(
+            LinkFlap(at=0.35 * runtime_hint, node=survivors[0], duration=flap_len),
+            LinkFlap(
+                at=0.70 * runtime_hint,
+                node=survivors[len(survivors) // 2],
+                duration=flap_len,
+            ),
+        ),
+        disk_error_rate=disk_error_rate,
+        name=name,
+    )
+
+
+def seeded_fault_plan(
+    seed: int, node_names: Sequence[str], runtime_hint: float
+) -> FaultPlan:
+    """A randomized-but-reproducible plan (property tests): same seed, same plan."""
+    import numpy as np
+
+    nodes = list(node_names)
+    if len(nodes) < 2:
+        raise ValueError("seeded_fault_plan needs >= 2 nodes")
+    rng = np.random.default_rng(seed)
+    crashes: tuple[NodeCrash, ...] = ()
+    if rng.uniform() < 0.5:  # at most one crash: >= 1 node always survives
+        victim = nodes[int(rng.integers(0, len(nodes)))]
+        crashes = (NodeCrash(at=float(rng.uniform(0.3, 0.7)) * runtime_hint, node=victim),)
+    flaps = tuple(
+        LinkFlap(
+            at=float(rng.uniform(0.1, 0.8)) * runtime_hint,
+            node=nodes[int(rng.integers(0, len(nodes)))],
+            duration=float(rng.uniform(0.02, 0.10)) * runtime_hint,
+        )
+        for _ in range(int(rng.integers(0, 3)))
+    )
+    stalls = tuple(
+        ResponderStall(
+            at=float(rng.uniform(0.1, 0.8)) * runtime_hint,
+            node=nodes[int(rng.integers(0, len(nodes)))],
+            duration=float(rng.uniform(0.03, 0.12)) * runtime_hint,
+        )
+        for _ in range(int(rng.integers(0, 2)))
+    )
+    disk_rate = float(rng.uniform(0.0, 0.08)) if rng.uniform() < 0.5 else 0.0
+    return FaultPlan(
+        crashes=crashes,
+        flaps=flaps,
+        stalls=stalls,
+        disk_error_rate=disk_rate,
+        name=f"seeded-{seed}",
+    )
+
+
+class FaultInjector:
+    """Runtime of one :class:`FaultPlan` on one cluster/job.
+
+    Created only when a plan is configured; every hook in the shuffle /
+    UCR / scheduler code is behind an ``if ctx.faults is not None`` check,
+    so the idle cost is a single attribute test.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: "RandomStreams",
+        plan: FaultPlan,
+        node_names: Iterable[str],
+    ):
+        self.sim = sim
+        self.plan = plan
+        names = set(node_names)
+        unknown = plan.nodes_referenced() - names
+        if unknown:
+            raise ValueError(f"fault plan references unknown nodes: {sorted(unknown)}")
+        if {c.node for c in plan.crashes} >= names:
+            raise ValueError("fault plan crashes every node; nothing could recover")
+        #: Injection tallies, registered as the ``faults.*`` metrics namespace.
+        self.counters = Counter()
+        for key in ("node_crashes", "link_flaps", "disk_errors", "responder_stalls"):
+            self.counters.add(key, 0.0)
+        self.crashed: set[str] = set()
+        self._crash_events: dict[str, Event] = {}
+        self._flap_windows: dict[str, list[tuple[float, float]]] = {}
+        for flap in plan.flaps:
+            self._flap_windows.setdefault(flap.node, []).append(
+                (flap.at, flap.at + flap.duration)
+            )
+        self._stall_windows: dict[str, list[tuple[float, float]]] = {}
+        for stall in plan.stalls:
+            self._stall_windows.setdefault(stall.node, []).append(
+                (stall.at, stall.at + stall.duration)
+            )
+        self._disk_rng = (
+            rng.stream("faults-disk") if plan.disk_error_rate > 0 else None
+        )
+        self._crash_hooks: list[Callable[[str], None]] = []
+        self._flap_hooks: list[Callable[[str], None]] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the timeline processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for crash in self.plan.crashes:
+            self.sim.process(self._crash_driver(crash), name=f"fault-crash-{crash.node}")
+        for i, flap in enumerate(self.plan.flaps):
+            self.sim.process(self._flap_driver(flap), name=f"fault-flap{i}-{flap.node}")
+        # Stalls and disk errors need no driver: providers consult the
+        # windows / draw from the stream at serve time.
+
+    def on_crash(self, fn: Callable[[str], None]) -> None:
+        """Register ``fn(node_name)`` to run when a node crashes."""
+        self._crash_hooks.append(fn)
+
+    def on_flap(self, fn: Callable[[str], None]) -> None:
+        """Register ``fn(node_name)`` to run when a link flap begins."""
+        self._flap_hooks.append(fn)
+
+    def _crash_driver(self, crash: NodeCrash):
+        yield self.sim.timeout(crash.at)
+        if crash.node in self.crashed:
+            return
+        self.crashed.add(crash.node)
+        self.counters.add("node_crashes", 1)
+        ev = self._crash_events.get(crash.node)
+        if ev is not None and not ev.triggered:
+            ev.succeed(crash.node)
+        for fn in self._crash_hooks:
+            fn(crash.node)
+
+    def _flap_driver(self, flap: LinkFlap):
+        yield self.sim.timeout(flap.at)
+        if flap.node in self.crashed:
+            return  # the port is already permanently gone
+        self.counters.add("link_flaps", 1)
+        for fn in self._flap_hooks:
+            fn(flap.node)
+
+    # -- queries (the hooks the rest of the stack calls) --------------------
+
+    def node_dead(self, node: str) -> bool:
+        return node in self.crashed
+
+    def crash_event(self, node: str) -> Event:
+        """An event firing when ``node`` crashes (already fired if it has)."""
+        ev = self._crash_events.get(node)
+        if ev is None:
+            ev = Event(self.sim)
+            if node in self.crashed:
+                ev.succeed(node)
+            self._crash_events[node] = ev
+        return ev
+
+    def link_down(self, node: str) -> bool:
+        """Is the node's port unusable right now (crashed or flapping)?"""
+        if node in self.crashed:
+            return True
+        now = self.sim.now
+        return any(s <= now < e for s, e in self._flap_windows.get(node, ()))
+
+    def path_down(self, a: str, b: str) -> bool:
+        return self.link_down(a) or self.link_down(b)
+
+    def stall_penalty(self, node: str) -> float:
+        """Seconds left in an active responder-stall window (0 when none).
+
+        Counts one ``responder_stalls`` tick per affected service call.
+        """
+        now = self.sim.now
+        for s, e in self._stall_windows.get(node, ()):
+            if s <= now < e:
+                self.counters.add("responder_stalls", 1)
+                return e - now
+        return 0.0
+
+    def disk_read_fails(self) -> bool:
+        """Draw one provider-side segment read against ``disk_error_rate``."""
+        if self._disk_rng is None:
+            return False
+        if float(self._disk_rng.uniform()) < self.plan.disk_error_rate:
+            self.counters.add("disk_errors", 1)
+            return True
+        return False
+
+    def healthy(self, names: Iterable[str]) -> list[str]:
+        return [n for n in names if n not in self.crashed]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultInjector {self.plan.name!r} crashed={sorted(self.crashed)}>"

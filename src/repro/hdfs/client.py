@@ -84,7 +84,19 @@ class DFSClient:
             yield from reader.fs.read(f, amount, stream_id, priority)
             self.bytes_read_local += amount
         else:
-            owner = self.cluster.node(block.locations[0])
+            owner_name = block.locations[0]
+            faults = self.cluster.faults
+            if faults is not None and faults.node_dead(owner_name):
+                # Replica selection skips dead DataNodes (the NameNode
+                # stops listing them once heartbeats lapse).  With every
+                # replica dead we fall through to the primary — a real
+                # cluster would fail the read, but the standard plans
+                # never crash more than one replica of a block.
+                for loc in block.locations[1:]:
+                    if not faults.node_dead(loc):
+                        owner_name = loc
+                        break
+            owner = self.cluster.node(owner_name)
             f = owner.fs.open(self._replica_name(block, owner.name))
             disk = self.sim.process(
                 owner.fs.read(f, amount, stream_id, priority),

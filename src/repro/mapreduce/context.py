@@ -15,7 +15,7 @@ from repro.core.protocol import MapOutputMeta
 from repro.hdfs.client import DFSClient
 from repro.hdfs.namenode import NameNode
 from repro.mapreduce.job import JobConf
-from repro.network.transports import IB_VERBS
+from repro.network.transports import IB_VERBS, IPOIB
 from repro.obs.phases import PhaseTracer
 from repro.obs.registry import MetricsRegistry
 from repro.sim.monitor import Counter
@@ -42,6 +42,9 @@ class CompletionBoard:
         self.ctx = ctx
         self._published: list[MapOutputMeta] = []
         self._subscribers: list[Store] = []
+        #: Fault recovery: ``fn(meta)`` hooks fired when a re-executed
+        #: map's replacement output is announced (empty without faults).
+        self._replacement_listeners: list = []
 
     def publish(self, meta: MapOutputMeta) -> None:
         delay = self.ctx.conf.costs.map_completion_notify
@@ -52,6 +55,39 @@ class CompletionBoard:
         self._published.append(meta)
         for inbox in self._subscribers:
             inbox.put(meta)
+
+    def republish(self, meta: MapOutputMeta) -> None:
+        """Announce a *re-executed* map's new output (fault recovery).
+
+        Unlike :meth:`publish` this does not feed subscriber inboxes —
+        consumers already counted the map once; their collectors may have
+        exited.  Instead the backlog entry is replaced (so late
+        subscribers see only the current copy) and replacement listeners
+        — live consumers with an in-flight FetchState for this map — are
+        notified to re-point at the new host.
+        """
+        delay = self.ctx.conf.costs.map_completion_notify
+        self.ctx.sim.process(
+            self._redeliver(meta, delay), name=f"renotify:m{meta.map_id}"
+        )
+
+    def _redeliver(self, meta: MapOutputMeta, delay: float):
+        yield self.ctx.sim.timeout(delay)
+        for i, old in enumerate(self._published):
+            if old.map_id == meta.map_id:
+                self._published[i] = meta
+                break
+        else:
+            self._published.append(meta)
+        for fn in list(self._replacement_listeners):
+            fn(meta)
+
+    def add_replacement_listener(self, fn) -> None:
+        self._replacement_listeners.append(fn)
+
+    def remove_replacement_listener(self, fn) -> None:
+        if fn in self._replacement_listeners:
+            self._replacement_listeners.remove(fn)
 
     def subscribe(self) -> Store:
         inbox = Store(self.ctx.sim, name="map-events")
@@ -77,17 +113,49 @@ class JobContext:
             [n.name for n in cluster.nodes], cluster.rng.stream("hdfs-placement")
         )
         self.dfs = DFSClient(cluster, self.namenode)
+        #: Fault injection runtime (repro.faults); None when no plan is
+        #: configured, and every fault hook in the stack is behind a plain
+        #: ``ctx.faults is not None`` check so the idle path stays
+        #: event-for-event identical.
+        self.faults = None
+        if conf.fault_plan is not None and not conf.fault_plan.empty:
+            from repro.faults import FaultInjector
+
+            self.faults = FaultInjector(
+                self.sim,
+                cluster.rng,
+                conf.fault_plan,
+                [n.name for n in cluster.nodes],
+            )
+        cluster.faults = self.faults
         #: UCR runtime for the verbs engines ("hadoopa", "rdma"); they run
         #: native IB verbs regardless of what transport vanilla traffic uses
-        #: (in the paper they are only ever run on the IB cluster).
-        self.ucr = UCRRuntime(self.sim, cluster.fabric.flows, IB_VERBS)
+        #: (in the paper they are only ever run on the IB cluster).  Under
+        #: faults it gets the IPoIB fallback spec for graceful degradation
+        #: after repeated verbs failures.
+        self.ucr = UCRRuntime(
+            self.sim,
+            cluster.fabric.flows,
+            IB_VERBS,
+            fallback=IPOIB if self.faults is not None else None,
+            faults=self.faults,
+            downgrade_after=conf.verbs_downgrade_after,
+        )
         self.counters = Counter()
+        #: JobTracker installs its fetch-failure report handler here.
+        self.fetch_failure_handler = None
         #: Structured phase tracing (repro.obs): spans from tasks/engines.
         self.tracer = PhaseTracer(enabled=conf.phase_tracing)
         #: Federated metrics tree; actors register their collectors here
         #: (job counters now, cache stats and disks as they come up).
         self.metrics = MetricsRegistry()
         self.metrics.register("job", self.counters)
+        if self.faults is not None:
+            # faults.* and ucr.* appear in the metrics tree only when a
+            # plan is active (no new keys on fault-free BENCH exports).
+            self.metrics.register("faults", self.faults.counters)
+            self.metrics.register("ucr", self.ucr.fault_metrics)
+            self.faults.start()
         #: Flow-network re-rating / wake-hygiene counters (fabric shared by
         #: socket transports and the UCR verbs engines alike).
         self.metrics.register("net", cluster.fabric)
@@ -102,8 +170,11 @@ class JobContext:
         )
         self.board = CompletionBoard(self)
         self.trackers: dict[str, "TaskTracker"] = {}
-        #: map_id -> MapOutputMeta, filled as maps complete.
+        #: map_id -> MapOutputMeta, filled as maps complete.  Entries are
+        #: *removed* when a fault report invalidates a lost output.
         self.map_outputs: dict[int, MapOutputMeta] = {}
+        #: Distinct maps that ever committed (survives invalidation).
+        self._ever_completed: set[int] = set()
         self.completed_maps = 0
         self.first_map_start: float | None = None
         self.last_map_end: float = 0.0
@@ -128,10 +199,23 @@ class JobContext:
         return meta.segment(reduce_id)
 
     def record_map_completion(self, meta: MapOutputMeta) -> None:
+        first_commit = meta.map_id not in self._ever_completed
         self.map_outputs[meta.map_id] = meta
-        self.completed_maps += 1
         self.last_map_end = self.sim.now
-        self.board.publish(meta)
+        if first_commit:
+            self._ever_completed.add(meta.map_id)
+            self.completed_maps += 1
+            self.board.publish(meta)
+        else:
+            # A re-executed map replacing a lost output: completed_maps
+            # counts distinct maps, and live consumers learn the new host
+            # through the replacement channel, not their inboxes.
+            self.board.republish(meta)
+
+    def report_fetch_failure(self, meta: MapOutputMeta) -> None:
+        """A reducer gave up fetching this map output; ask for re-execution."""
+        if self.fetch_failure_handler is not None:
+            self.fetch_failure_handler(meta)
 
     # -- memory sizing ---------------------------------------------------------
 

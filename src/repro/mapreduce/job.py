@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.faults import FaultPlan
 from repro.mapreduce.costs import DEFAULT_COSTS, CostModel
 from repro.workloads.records import RecordModel
 from repro.workloads.randomwriter import RANDOMWRITER_RECORDS
@@ -86,14 +87,17 @@ class JobConf:
     output_replication: int = 1
     reduce_flush_bytes: float = 32 * MB
 
-    # -- speculative execution (disabled in the paper's tuned setup §IV) ----------
+    # -- robustness (speculation + fault injection + recovery) --------------------
+    # Everything that makes the job survive a misbehaving cluster lives in
+    # this block.  All defaults keep the fault machinery fully idle: with
+    # no fault_plan and zero rates, runs are event-for-event identical to a
+    # build without it (the existing benchmarks stay bit-identical).
+    #
     #: mapred.map.tasks.speculative.execution: launch a backup attempt for
     #: map tasks running far beyond the completed-task median.
     speculative_execution: bool = False
     #: A running attempt is speculation-eligible beyond median * threshold.
     speculative_threshold: float = 1.2
-
-    # -- fault tolerance (paper §VI future work: recovery on task failure) --------
     #: Probability that a map task attempt fails partway through.
     map_failure_rate: float = 0.0
     #: Probability that a reduce task attempt fails partway through.
@@ -102,8 +106,24 @@ class JobConf:
     max_task_attempts: int = 4
     #: Probability that one shuffle fetch fails transiently and is retried.
     fetch_failure_rate: float = 0.0
-    #: Back-off before a failed fetch is retried, seconds.
+    #: Back-off before a transiently-failed fetch is retried, seconds.
     fetch_retry_delay: float = 5.0
+    #: Deterministic fault schedule (repro.faults); None disables injection.
+    fault_plan: FaultPlan | None = None
+    #: Consecutive failed fetches of one map output before the reducer
+    #: reports it lost to the JobTracker (which re-executes the map).
+    fetch_retry_limit: int = 4
+    #: First fetch-retry back-off, seconds; doubles per consecutive failure
+    #: (with deterministic jitter), capped at fetch_backoff_max.
+    fetch_backoff_base: float = 0.5
+    fetch_backoff_max: float = 8.0
+    #: Consecutive per-host failures before that host enters the penalty
+    #: box, and how long it stays there (Hadoop's copier penalty box).
+    penalty_box_after: int = 3
+    penalty_box_secs: float = 10.0
+    #: Consecutive verbs-level failures on one endpoint pair before UCR
+    #: permanently downgrades that pair to the IPoIB socket transport.
+    verbs_downgrade_after: int = 3
 
     # -- costs -------------------------------------------------------------------
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
@@ -181,11 +201,14 @@ class JobResult:
     transport: str
     n_nodes: int
     execution_time: float
-    #: Simulation timestamps of phase milestones.
+    #: Simulation timestamps of phase milestones.  The reduce milestones
+    #: are None when no reduce attempt completed (a map-only or failed
+    #: run): reporting ``sim.now`` there would silently claim completion
+    #: at whatever the clock happened to read.
     first_map_start: float = 0.0
     last_map_end: float = 0.0
-    first_reduce_done: float = 0.0
-    last_reduce_done: float = 0.0
+    first_reduce_done: float | None = None
+    last_reduce_done: float | None = None
     counters: dict[str, float] = field(default_factory=dict)
     #: Task attempt spans (see :mod:`repro.tools.timeline`).
     task_spans: list[Any] = field(default_factory=list)
@@ -202,15 +225,22 @@ class JobResult:
 
     @property
     def reduce_tail_seconds(self) -> float:
-        """Time from the last map finishing to job completion."""
+        """Time from the last map finishing to job completion.
+
+        NaN when no reduce completed (there is no tail to measure).
+        """
+        if self.last_reduce_done is None:
+            return float("nan")
         return self.last_reduce_done - self.last_map_end
 
     def summary(self) -> str:
         c = self.counters
+        tail = self.reduce_tail_seconds
+        tail_txt = f"{tail:.0f}s" if tail == tail else "-"  # NaN: no reduces ran
         return (
             f"{self.conf.job_id} on {self.transport} x{self.n_nodes}: "
             f"{self.execution_time:.0f}s "
-            f"(maps {self.map_phase_seconds:.0f}s, tail {self.reduce_tail_seconds:.0f}s, "
+            f"(maps {self.map_phase_seconds:.0f}s, tail {tail_txt}, "
             f"cache hit {c.get('cache.hit_rate', 0.0):.0%})"
         )
 

@@ -38,6 +38,10 @@ class JobTracker:
         self._attempts: dict[int, list[Any]] = {}
         self._attempt_meta: dict[int, tuple[float, str, Block]] = {}
         self._speculated: set[int] = set()
+        # Fault recovery: maps with a re-execution in flight, and the
+        # re-execution driver processes (drained before job cleanup).
+        self._reexec_pending: set[int] = set()
+        self._reexec_procs: list[Any] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -66,6 +70,12 @@ class JobTracker:
             for disk in node.fs.disks:
                 ctx.metrics.register(f"disk.{disk.name}", disk)
 
+        if ctx.faults is not None:
+            # Fetch-failure reports flow back here, and a node crash kills
+            # the attempts running on it.
+            ctx.fetch_failure_handler = self.report_fetch_failure
+            ctx.faults.on_crash(self._on_node_crash)
+
         # Job setup (setup task, InputFormat split computation, ...).
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
         start_time = self.sim.now
@@ -93,10 +103,36 @@ class JobTracker:
             )
 
         yield self.sim.all_of(map_loops + reducers)
+        if ctx.faults is not None:
+            # Re-execution drivers normally finish before the reducers that
+            # wait on their output; drain any stragglers so nothing leaks.
+            live = [p for p in self._reexec_procs if p.is_alive]
+            if live:
+                yield self.sim.all_of(live)
         # Job cleanup.
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
 
         counters = ctx.counters.as_dict()
+        if ctx.faults is not None:
+            # Make the recovery story legible in one place: every fault /
+            # retry / degradation tally lands in the job counters (these
+            # keys exist only when a plan was active, keeping fault-free
+            # BENCH exports bit-identical).
+            for key in (
+                "shuffle.retry.attempts",
+                "shuffle.retry.backoff_seconds",
+                "shuffle.retry.penalty_boxed",
+                "shuffle.retry.reports",
+                "map.reexecuted",
+                "map.lost_outputs",
+                "reduce.node_lost",
+            ):
+                counters.setdefault(key, 0.0)
+            counters["ucr.teardowns"] = float(ctx.ucr.teardowns)
+            counters["ucr.reconnects"] = float(ctx.ucr.reconnects)
+            counters["ucr.downgrades"] = float(ctx.ucr.downgrades)
+            for key, value in ctx.faults.counters.as_dict().items():
+                counters[f"faults.{key}"] = value
         # Always present so BENCH exports can compare designs: 0 means every
         # serve was a cache hit (no TaskTracker-side disk read).
         counters.setdefault("shuffle.tt_disk_read_bytes", 0.0)
@@ -119,8 +155,14 @@ class JobTracker:
             execution_time=self.sim.now - start_time + conf.costs.job_overhead / 2.0,
             first_map_start=ctx.first_map_start or start_time,
             last_map_end=ctx.last_map_end,
-            first_reduce_done=min(self._reduce_done_times, default=self.sim.now),
-            last_reduce_done=max(self._reduce_done_times, default=self.sim.now),
+            # None (not sim.now) when no reduce completed: a map-only or
+            # failed run must not claim a completion timestamp.
+            first_reduce_done=(
+                min(self._reduce_done_times) if self._reduce_done_times else None
+            ),
+            last_reduce_done=(
+                max(self._reduce_done_times) if self._reduce_done_times else None
+            ),
             counters=counters,
             task_spans=list(ctx.spans),
             metrics=ctx.metrics.collect(),
@@ -145,6 +187,11 @@ class JobTracker:
         while self.pending_maps:
             slot = tt.map_slots.request()
             yield slot
+            if self.ctx.faults is not None and self.ctx.faults.node_dead(tt.name):
+                # This TaskTracker is gone; leave remaining maps to the
+                # healthy loops (and the re-execution path).
+                tt.map_slots.release(slot)
+                break
             task = self._pick_map(tt)
             if task is None:
                 tt.map_slots.release(slot)
@@ -188,13 +235,20 @@ class JobTracker:
                         )
                     )
                     continue
-                except Interrupted:
-                    # A sibling speculative attempt committed first.
+                except Interrupted as exc:
+                    # A sibling speculative attempt committed first, or the
+                    # node died under this attempt.
                     self.ctx.spans.append(
                         TaskSpan(
                             "map", map_id, attempt, tt.name, started, self.sim.now, ok=False
                         )
                     )
+                    if (
+                        self.ctx.faults is not None
+                        and exc.cause == "node-crash"
+                        and map_id not in self.ctx.map_outputs
+                    ):
+                        self._relaunch_lost_map(map_id, block)
                     return
             raise RuntimeError(
                 f"map {map_id} exceeded {self.ctx.conf.max_task_attempts} attempts"
@@ -208,6 +262,107 @@ class JobTracker:
         for proc in self._attempts.get(map_id, []):
             if proc is not me and proc.is_alive:
                 proc.interrupt("lost speculative race")
+
+    # -- fault recovery ---------------------------------------------------------
+
+    def _on_node_crash(self, name: str) -> None:
+        """FaultInjector hook: kill map attempts running on a dead node."""
+        ctx = self.ctx
+        for map_id, (_started, tt_name, _block) in list(self._attempt_meta.items()):
+            if tt_name != name or map_id in ctx.map_outputs:
+                continue
+            for proc in self._attempts.get(map_id, []):
+                if proc.is_alive:
+                    proc.interrupt("node-crash")
+
+    def report_fetch_failure(self, meta: Any) -> None:
+        """A reducer condemned ``meta`` after repeated fetch failures.
+
+        Mirrors 0.20.2's JobTracker handling of TaskTracker fetch-failure
+        notifications: the map output is declared lost, its TaskTracker
+        drops it, and the map is re-executed on a healthy node.  Stale
+        reports (against an output that was already replaced) and
+        duplicate reports (re-execution already pending) are ignored.
+        """
+        ctx = self.ctx
+        map_id = meta.map_id
+        cur = ctx.map_outputs.get(map_id)
+        if cur is not None and cur is not meta:
+            return  # a replacement already committed; report is stale
+        if cur is None:
+            # Already invalidated by an earlier report; make sure a
+            # re-execution is actually in flight.
+            if map_id not in self._reexec_pending:
+                self._relaunch_lost_map(map_id, self._attempt_meta[map_id][2])
+            return
+        ctx.counters.add("map.lost_outputs", 1)
+        del ctx.map_outputs[map_id]
+        old_tt = ctx.trackers.get(cur.host)
+        if old_tt is not None:
+            old_tt.invalidate_map_output(map_id)
+        self._relaunch_lost_map(map_id, self._attempt_meta[map_id][2])
+
+    def _relaunch_lost_map(self, map_id: int, block: Block) -> None:
+        if map_id in self._reexec_pending:
+            return
+        self._reexec_pending.add(map_id)
+        proc = self.sim.process(
+            self._reexecute(map_id, block), name=f"reexec-m{map_id}"
+        )
+        self._reexec_procs.append(proc)
+        self._attempts.setdefault(map_id, []).append(proc)
+
+    def _reexecute(self, map_id: int, block: Block) -> Generator[Event, Any, None]:
+        """Re-run a lost map on a healthy TaskTracker; republish its meta."""
+        from repro.sim.core import Interrupted
+
+        ctx = self.ctx
+        tt = None
+        slot = None
+        try:
+            ctx.counters.add("map.reexecuted", 1)
+            tt = self._pick_healthy_tracker(block)
+            slot = tt.map_slots.request()
+            yield slot
+            if ctx.faults.node_dead(tt.name):
+                # The chosen node crashed while we queued for its slot.
+                slot.cancel()
+                slot = None
+                self._reexec_pending.discard(map_id)
+                self._relaunch_lost_map(map_id, block)
+                return
+            if map_id in ctx.map_outputs:
+                # A racing attempt (e.g. speculation) committed meanwhile.
+                slot.cancel()
+                slot = None
+                self._reexec_pending.discard(map_id)
+                return
+            self._attempt_meta[map_id] = (self.sim.now, tt.name, block)
+            yield from self._map_wrapper(tt, (map_id, block), slot)
+            slot = None  # _map_wrapper released it
+        except Interrupted:
+            # The re-execution host crashed too (or a speculative sibling
+            # won while we waited for a slot).
+            if slot is not None:
+                slot.cancel()  # safe whether or not the slot was granted
+                slot = None
+            self._reexec_pending.discard(map_id)
+            if map_id not in ctx.map_outputs:
+                self._relaunch_lost_map(map_id, block)
+            return
+        self._reexec_pending.discard(map_id)
+
+    def _pick_healthy_tracker(self, block: Block) -> TaskTracker:
+        """Least-loaded live TaskTracker, preferring live input replicas."""
+        ctx = self.ctx
+        healthy = [
+            tt for tt in ctx.trackers.values() if not ctx.faults.node_dead(tt.name)
+        ]
+        if not healthy:
+            raise RuntimeError("no healthy TaskTrackers left to re-execute on")
+        local = [tt for tt in healthy if block.is_local_to(tt.name)]
+        pool = local or healthy
+        return min(pool, key=lambda t: (t.map_slots.count, t.name))
 
     # -- speculative execution -------------------------------------------------
 
@@ -238,7 +393,9 @@ class JobTracker:
                 candidates = [
                     tt
                     for tt in trackers
-                    if tt.name != tt_name and tt.map_slots.count < tt.map_slots.capacity
+                    if tt.name != tt_name
+                    and tt.map_slots.count < tt.map_slots.capacity
+                    and (ctx.faults is None or not ctx.faults.node_dead(tt.name))
                 ]
                 if not candidates:
                     continue
@@ -274,6 +431,9 @@ class JobTracker:
         from repro.tools.timeline import TaskSpan
 
         ctx = self.ctx
+        if ctx.faults is not None:
+            yield from self._reduce_wrapper_faulted(tt, reduce_id, consumer_cls)
+            return
         with tt.reduce_slots.request() as slot:
             yield slot
             for attempt in range(ctx.conf.max_task_attempts):
@@ -310,3 +470,127 @@ class JobTracker:
                     f"{ctx.conf.max_task_attempts} attempts"
                 )
         self._reduce_done_times.append(self.sim.now)
+
+    def _reduce_wrapper_faulted(
+        self, tt: TaskTracker, reduce_id: int, consumer_cls: type
+    ) -> Generator[Event, Any, None]:
+        """Reduce lifecycle under fault injection.
+
+        Differences from the plain wrapper: the slot is re-acquired per
+        attempt (an attempt whose node crashed moves to a healthy
+        TaskTracker), and each attempt races the consumer against its
+        node's crash event.  A crash *kills* the attempt (Hadoop
+        semantics: killed, not failed — it doesn't count toward
+        max_task_attempts); a TaskFailure burns an attempt as usual.
+        """
+        from repro.mapreduce.maptask import TaskFailure
+        from repro.sim.core import Interrupted
+        from repro.tools.timeline import TaskSpan
+
+        ctx = self.ctx
+        faults = ctx.faults
+        attempt = 0
+        failed_attempts = 0
+        while True:
+            if failed_attempts >= ctx.conf.max_task_attempts:
+                raise RuntimeError(
+                    f"reduce {reduce_id} exceeded "
+                    f"{ctx.conf.max_task_attempts} attempts"
+                )
+            if faults.node_dead(tt.name):
+                tt = self._pick_reduce_tracker(reduce_id)
+            slot = tt.reduce_slots.request()
+            yield slot
+            try:
+                if faults.node_dead(tt.name):
+                    continue  # crashed while we queued; move elsewhere
+                started = self.sim.now
+                yield from tt.node.compute(
+                    ctx.conf.costs.task_startup
+                    * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
+                )
+                consumer = consumer_cls(ctx, tt, reduce_id, attempt)
+                run_proc = self.sim.process(
+                    consumer.run(), name=f"r{reduce_id}-attempt{attempt}"
+                )
+                crash = faults.crash_event(tt.name)
+                try:
+                    yield self.sim.any_of([run_proc, crash])
+                except TaskFailure:
+                    # The consumer died first (injected reduce failure or
+                    # its own node lost mid-fetch).
+                    consumer.cancel()
+                    ctx.spans.append(
+                        TaskSpan(
+                            "reduce", reduce_id, attempt, tt.name,
+                            started, self.sim.now, ok=False,
+                        )
+                    )
+                    attempt += 1
+                    failed_attempts += 1
+                    continue
+                if run_proc.is_alive:
+                    # The node crashed mid-attempt: tear the consumer down
+                    # and wait for its processes to unwind.
+                    consumer.cancel("node-crash")
+                    run_proc.interrupt("node-crash")
+                    interrupted = False
+                    try:
+                        yield run_proc
+                    except (TaskFailure, Interrupted):
+                        interrupted = True
+                    if interrupted:
+                        ctx.counters.add("reduce.node_lost", 1)
+                        ctx.spans.append(
+                            TaskSpan(
+                                "reduce", reduce_id, attempt, tt.name,
+                                started, self.sim.now, ok=False,
+                            )
+                        )
+                        attempt += 1  # fresh attempt id, not a *failed* one
+                        continue
+                elif not run_proc.ok:
+                    # The consumer failed in the same timestamp the crash
+                    # (or another event) fired; classify its exception.
+                    exc = run_proc.value
+                    consumer.cancel()
+                    ctx.spans.append(
+                        TaskSpan(
+                            "reduce", reduce_id, attempt, tt.name,
+                            started, self.sim.now, ok=False,
+                        )
+                    )
+                    if isinstance(exc, TaskFailure):
+                        attempt += 1
+                        failed_attempts += 1
+                        continue
+                    if isinstance(exc, Interrupted):
+                        ctx.counters.add("reduce.node_lost", 1)
+                        attempt += 1
+                        continue
+                    raise exc
+                ctx.spans.append(
+                    TaskSpan(
+                        "reduce", reduce_id, attempt, tt.name, started, self.sim.now
+                    )
+                )
+                ctx.counters.add(
+                    "reduce.committed_output_bytes", consumer.bytes_reduced
+                )
+                break
+            finally:
+                tt.reduce_slots.release(slot)
+        self._reduce_done_times.append(self.sim.now)
+
+    def _pick_reduce_tracker(self, reduce_id: int) -> TaskTracker:
+        """Least-loaded live TaskTracker for a relocated reduce attempt."""
+        ctx = self.ctx
+        healthy = [
+            tt for tt in ctx.trackers.values() if not ctx.faults.node_dead(tt.name)
+        ]
+        if not healthy:
+            raise RuntimeError("no healthy TaskTrackers left for reducers")
+        return min(
+            healthy,
+            key=lambda t: (t.reduce_slots.count + t.reduce_slots.queue_len, t.name),
+        )

@@ -122,6 +122,12 @@ def run_map_task(
         total_out = block.nbytes * expansion
         ctx.tracer.record(task_name, "map", attempt_start, sim.now, total_out)
 
+        if ctx.faults is not None and node.fs.exists(map_output_file_name(map_id)):
+            # A condemned earlier attempt ran on this node and its output
+            # file was left in place for in-flight readers; unlink it so
+            # the re-execution can publish (readers keep their handle).
+            node.fs.delete(map_output_file_name(map_id))
+
         if len(spills) > 1:
             merge_start = sim.now
             final = node.fs.create(map_output_file_name(map_id))

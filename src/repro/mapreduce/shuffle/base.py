@@ -37,6 +37,14 @@ class ShuffleProvider:
     def on_map_output(self, meta: MapOutputMeta, file: "LocalFile") -> None:
         """Hook invoked when a local map task publishes its output."""
 
+    def on_output_lost(self, meta: MapOutputMeta) -> None:
+        """Hook invoked when a local map output is invalidated.
+
+        The JobTracker calls this (via TaskTracker.invalidate_map_output)
+        when a fetch-failure report condemns this output; engines drop any
+        derived state (e.g. cached segments) here.
+        """
+
 
 class ShuffleConsumer:
     """ReduceTask-side shuffle + merge + reduce pipeline (one per reducer)."""
@@ -61,12 +69,96 @@ class ShuffleConsumer:
                 expected = ctx.conf.data_bytes / ctx.conf.n_reduces
                 self._fail_after_bytes = float(fate.uniform(0.05, 0.95)) * expected
         self.aborted = False
+        #: Child processes (fetchers/copiers/mergers) spawned via _spawn,
+        #: so a crashed attempt can be torn down with cancel().
+        self._children: list[Any] = []
+        # Per-host fetch failure streaks and penalty-box deadlines
+        # (Hadoop's copier penalty box); only touched under faults.
+        self._host_failures: dict[str, int] = {}
+        self._penalty_until: dict[str, float] = {}
+        self._retry_jitter: Any = None
+        #: The all_of this consumer's run() is currently gathered on; a
+        #: cancelled attempt defuses it (its waiter is gone, and the
+        #: interrupted children would otherwise fail it unhandled).
+        self._gather: Any = None
 
     # -- engine entry point -------------------------------------------------
 
     def run(self) -> Generator[Event, Any, None]:
         """Full reduce lifecycle; drive with the simulator."""
         raise NotImplementedError
+
+    # -- fault recovery (shared by all engines) -------------------------------
+
+    def _spawn(self, gen: Generator, name: str) -> Any:
+        """sim.process plus child bookkeeping for cancel()."""
+        proc = self.ctx.sim.process(gen, name=name)
+        self._children.append(proc)
+        return proc
+
+    def _gather_on(self, events: list) -> Event:
+        """all_of over child processes, tracked so cancel() can defuse it."""
+        cond = self.ctx.sim.all_of(events)
+        self._gather = cond
+        return cond
+
+    def cancel(self, cause: str = "reduce attempt cancelled") -> None:
+        """Tear down a doomed attempt (its node crashed, or it lost a race).
+
+        Interrupts every live child process and marks the consumer
+        aborted.  Failures of cancelled children are defused — nothing
+        will wait on them once the attempt is abandoned.
+        """
+        self.aborted = True
+        if self._gather is not None and not self._gather.triggered:
+            # run()'s waiter is torn down with the attempt; the children we
+            # interrupt below would fail this condition with nobody left to
+            # catch it.
+            self._gather.defuse()
+        active = self.ctx.sim.active_process
+        for proc in self._children:
+            if proc.is_alive and proc is not active:
+                proc.interrupt(cause)
+                proc.defuse()
+        self.on_cancel()
+
+    def on_cancel(self) -> None:
+        """Engine-specific cleanup hook (listener deregistration etc.)."""
+
+    def _penalty_remaining(self, host: str) -> float:
+        """Seconds until ``host`` leaves the penalty box (0 when out)."""
+        until = self._penalty_until.get(host)
+        if until is None:
+            return 0.0
+        return max(0.0, until - self.ctx.sim.now)
+
+    def _note_fetch_success(self, host: str) -> None:
+        self._host_failures.pop(host, None)
+        self._penalty_until.pop(host, None)
+
+    def _fetch_backoff(self, host: str) -> float:
+        """Record one failed fetch from ``host``; return the back-off delay.
+
+        Exponential back-off with deterministic jitter; every
+        ``penalty_box_after`` consecutive failures the host is boxed for
+        ``penalty_box_secs`` (new fetches to it wait the box out first).
+        """
+        ctx = self.ctx
+        conf = ctx.conf
+        ctx.counters.add("shuffle.retry.attempts", 1)
+        streak = self._host_failures.get(host, 0) + 1
+        self._host_failures[host] = streak
+        delay = min(
+            conf.fetch_backoff_max, conf.fetch_backoff_base * (2.0 ** (streak - 1))
+        )
+        if self._retry_jitter is None:
+            self._retry_jitter = ctx.rng.stream(f"fetch-backoff-r{self.reduce_id}")
+        delay *= 0.5 + float(self._retry_jitter.uniform())  # jitter in [0.5, 1.5)
+        if streak >= conf.penalty_box_after and streak % conf.penalty_box_after == 0:
+            self._penalty_until[host] = ctx.sim.now + conf.penalty_box_secs
+            ctx.counters.add("shuffle.retry.penalty_boxed", 1)
+        ctx.counters.add("shuffle.retry.backoff_seconds", delay)
+        return delay
 
     # -- shared helpers -------------------------------------------------------
 

@@ -52,8 +52,15 @@ class HttpShuffleProvider(ShuffleProvider):
     def serve(
         self, requester_node: Any, map_id: int, reduce_id: int
     ) -> Generator[Event, Any, float]:
-        """Handle one segment request end-to-end (driven by the copier)."""
+        """Handle one segment request end-to-end (driven by the copier).
+
+        Under fault injection the request can raise
+        :class:`repro.faults.FaultError` (dead server, link down, output
+        lost, disk read error); the copier's retry loop handles it.
+        """
         sim = self.ctx.sim
+        if self.ctx.faults is not None:
+            yield from self._fault_gate(requester_node, map_id)
         meta, file = self.tt.output_of(map_id)
         seg_bytes, _pairs = meta.segment(reduce_id)
         if seg_bytes <= 0:
@@ -88,6 +95,25 @@ class HttpShuffleProvider(ShuffleProvider):
         self.ctx.counters.add("shuffle.tt_disk_read_bytes", seg_bytes)
         return seg_bytes
 
+    def _fault_gate(
+        self, requester_node: Any, map_id: int
+    ) -> Generator[Event, Any, None]:
+        """Refuse doomed requests up front (fault injection only)."""
+        from repro.faults import FaultError
+
+        faults = self.ctx.faults
+        stall = faults.stall_penalty(self.tt.name)
+        if stall > 0:
+            yield self.ctx.sim.timeout(stall)
+        if faults.node_dead(self.tt.name):
+            raise FaultError("crash", self.tt.name)
+        if faults.path_down(self.tt.name, requester_node.name):
+            raise FaultError("link", f"{self.tt.name}<->{requester_node.name}")
+        if map_id not in self.tt.map_outputs:
+            raise FaultError("lost", f"map {map_id}")
+        if faults.disk_read_fails():
+            raise FaultError("disk", f"map {map_id} spill read")
+
 
 class HttpShuffleConsumer(ShuffleConsumer):
     """The 0.20.2 copier/merger/reduce pipeline with its merge barrier."""
@@ -110,25 +136,39 @@ class HttpShuffleConsumer(ShuffleConsumer):
         self._disk_merging = False
         self._run_seq = 0
         self.jitter = ctx.jitter(f"reduce-{reduce_id}")
+        #: Fault recovery: copiers parked on a lost map output wait here
+        #: for its replacement meta (map_id -> Event).
+        self._replacement_events: dict[int, Event] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
     def run(self) -> Generator[Event, Any, None]:
         sim = self.ctx.sim
         conf = self.ctx.conf
+        if self.ctx.faults is not None:
+            self.ctx.board.add_replacement_listener(self._on_replacement)
         inbox = self.ctx.board.subscribe()
-        feeder = sim.process(self._feeder(inbox), name=f"r{self.reduce_id}-feeder")
+        feeder = self._spawn(self._feeder(inbox), name=f"r{self.reduce_id}-feeder")
         copiers = [
-            sim.process(self._copier(), name=f"r{self.reduce_id}-copier{i}")
+            self._spawn(self._copier(), name=f"r{self.reduce_id}-copier{i}")
             for i in range(conf.parallel_copies)
         ]
-        yield sim.all_of([feeder, *copiers])
-        # Flush whatever in-memory data remains if disk runs exist — 0.20.2
-        # merges memory to disk when disk runs must be co-merged anyway.
-        # Leftover memory segments otherwise feed the reduce directly.
-        yield from self._merge_barrier()
-        yield from self._final_merge_passes()
-        yield from self._reduce_phase()
+        try:
+            yield self._gather_on([feeder, *copiers])
+            # Flush whatever in-memory data remains if disk runs exist — 0.20.2
+            # merges memory to disk when disk runs must be co-merged anyway.
+            # Leftover memory segments otherwise feed the reduce directly.
+            yield from self._merge_barrier()
+            yield from self._final_merge_passes()
+            yield from self._reduce_phase()
+        finally:
+            if self.ctx.faults is not None:
+                self.ctx.board.remove_replacement_listener(self._on_replacement)
+
+    def _on_replacement(self, meta: MapOutputMeta) -> None:
+        ev = self._replacement_events.pop(meta.map_id, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(meta)
 
     # -- shuffle --------------------------------------------------------------
 
@@ -151,12 +191,10 @@ class HttpShuffleConsumer(ShuffleConsumer):
             seg_bytes, _pairs = meta.segment(self.reduce_id)
             if seg_bytes <= 0:
                 continue
-            provider = self.ctx.trackers[meta.host].provider
-            assert isinstance(provider, HttpShuffleProvider)
             if seg_bytes > conf.max_single_shuffle_fraction * self.capacity:
                 # Too large for memory: stream straight to a disk run.
                 t0 = self.ctx.sim.now
-                yield from provider.serve(self.node, meta.map_id, self.reduce_id)
+                yield from self._fetch_segment(meta)
                 run = self._new_run_file(f"seg-m{meta.map_id}")
                 yield from self.node.fs.write(
                     run, seg_bytes, stream_id=f"shufspill-r{self.reduce_id}"
@@ -179,7 +217,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
                     yield self._merge_free
                 yield self.mem.get(seg_bytes)  # reserve buffer space
                 t0 = self.ctx.sim.now
-                yield from provider.serve(self.node, meta.map_id, self.reduce_id)
+                yield from self._fetch_segment(meta)
                 self.mem_segments.append(seg_bytes)
                 self.mem_bytes += seg_bytes
                 self.ctx.tracer.record(
@@ -194,6 +232,80 @@ class HttpShuffleConsumer(ShuffleConsumer):
                     >= conf.shuffle_merge_percent * self.capacity
                 ):
                     self._start_memory_merge()
+
+    def _fetch_segment(self, meta: MapOutputMeta) -> Generator[Event, Any, float]:
+        """One segment fetch; with a fault plan, the full recovery loop.
+
+        Retries with back-off / penalty box on transient failures; after
+        ``fetch_retry_limit`` consecutive failures the output is reported
+        lost and the copier parks until the re-executed map's replacement
+        meta arrives, then fetches from the new host.
+        """
+        ctx = self.ctx
+        if ctx.faults is None:
+            provider = ctx.trackers[meta.host].provider
+            assert isinstance(provider, HttpShuffleProvider)
+            got = yield from provider.serve(self.node, meta.map_id, self.reduce_id)
+            return got
+
+        from repro.faults import FaultError
+        from repro.mapreduce.maptask import TaskFailure
+
+        conf = ctx.conf
+        faults = ctx.faults
+        failures = 0
+        while True:
+            if faults.node_dead(self.node.name):
+                raise TaskFailure(f"reduce-{self.reduce_id}", self.attempt)
+            # Always chase the *current* copy of the output: a replacement
+            # may have been committed while this copier was backing off.
+            current = ctx.map_outputs.get(meta.map_id)
+            if current is not None:
+                meta = current
+            host = meta.host
+            wait = self._penalty_remaining(host)
+            if wait > 0:
+                yield ctx.sim.timeout(wait)
+                continue
+            provider = ctx.trackers[host].provider
+            try:
+                got = yield from provider.serve(
+                    self.node, meta.map_id, self.reduce_id
+                )
+            except FaultError:
+                t0 = ctx.sim.now
+                failures += 1
+                delay = self._fetch_backoff(host)
+                if failures >= conf.fetch_retry_limit:
+                    meta = yield from self._await_replacement(meta)
+                    failures = 0
+                    continue
+                yield ctx.sim.timeout(delay)
+                ctx.tracer.record(
+                    f"reduce-{self.reduce_id}", "retry", t0, ctx.sim.now, 0.0
+                )
+                continue
+            self._note_fetch_success(host)
+            return got
+
+    def _await_replacement(
+        self, meta: MapOutputMeta
+    ) -> Generator[Event, Any, MapOutputMeta]:
+        """Report ``meta`` lost and wait for the re-executed replacement."""
+        ctx = self.ctx
+        current = ctx.map_outputs.get(meta.map_id)
+        if current is not None and current is not meta:
+            return current  # a replacement is already committed
+        ev = self._replacement_events.get(meta.map_id)
+        if ev is None:
+            # Register the waiter *before* reporting so the republish
+            # cannot race past us.
+            ev = Event(ctx.sim)
+            self._replacement_events[meta.map_id] = ev
+        ctx.counters.add("shuffle.retry.reports", 1)
+        ctx.report_fetch_failure(meta)
+        new_meta = yield ev
+        return new_meta
 
     # -- mergers ---------------------------------------------------------------
 
@@ -212,9 +324,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
         if self._memory_merging or not self.mem_segments:
             return
         self._memory_merging = True
-        proc = self.ctx.sim.process(
-            self._memory_merge(), name=f"r{self.reduce_id}-memmerge"
-        )
+        proc = self._spawn(self._memory_merge(), name=f"r{self.reduce_id}-memmerge")
         self._merge_procs.append(proc)
 
     def _memory_merge(self) -> Generator[Event, Any, None]:
@@ -245,9 +355,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
         if self._disk_merging or len(self.disk_runs) < 2 * factor - 1:
             return
         self._disk_merging = True
-        proc = self.ctx.sim.process(
-            self._disk_merge(), name=f"r{self.reduce_id}-diskmerge"
-        )
+        proc = self._spawn(self._disk_merge(), name=f"r{self.reduce_id}-diskmerge")
         self._merge_procs.append(proc)
 
     def _disk_merge(self) -> Generator[Event, Any, None]:
@@ -292,7 +400,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
         while seen < len(self._merge_procs):
             batch = self._merge_procs[seen:]
             seen = len(self._merge_procs)
-            yield self.ctx.sim.all_of(batch)
+            yield self._gather_on(batch)
 
     def _final_merge_passes(self) -> Generator[Event, Any, None]:
         """Reduce the number of disk runs to io.sort.factor before reduce."""

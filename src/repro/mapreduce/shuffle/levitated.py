@@ -112,6 +112,9 @@ class QueueingProvider(ShuffleProvider):
         ctx = self.ctx
         while True:
             req, done, requester = yield self.data_request_queue.get()
+            if ctx.faults is not None:
+                yield from self._serve_faulted(req, done, requester)
+                continue
             meta, file = self.tt.output_of(req.map_id)
             seg_bytes, seg_pairs = meta.segment(req.reduce_id)
             take = max(0.0, min(req.max_bytes, seg_bytes - req.offset))
@@ -136,6 +139,68 @@ class QueueingProvider(ShuffleProvider):
             self.after_serve(req, meta, eof, cached=bool(cached))
             done.succeed(take)
 
+    def _serve_faulted(
+        self, req: DataRequest, done: Event, requester: Any
+    ) -> Generator[Event, Any, None]:
+        """One response under fault injection.
+
+        Failures are delivered *through* ``done`` (the requester's retry
+        loop handles them); the event is pre-defused so a cancelled
+        requester doesn't turn the refusal into an unhandled failure.
+        """
+        from repro.faults import FaultError
+
+        ctx = self.ctx
+        faults = ctx.faults
+        stall = faults.stall_penalty(self.tt.name)
+        if stall > 0:
+            # Hung service threads: requests queued behind the stall are
+            # simply served late, the consumer just waits longer.
+            yield ctx.sim.timeout(stall)
+        if faults.node_dead(self.tt.name):
+            done.fail(FaultError("crash", self.tt.name)).defuse()
+            return
+        if faults.link_down(self.tt.name) or faults.link_down(requester.name):
+            done.fail(FaultError("link", f"{self.tt.name}<->{requester.name}")).defuse()
+            return
+        entry = self.tt.map_outputs.get(req.map_id)
+        if entry is None:
+            # Output condemned after the request was queued.
+            done.fail(FaultError("lost", f"map {req.map_id}")).defuse()
+            return
+        meta, file = entry
+        seg_bytes, _seg_pairs = meta.segment(req.reduce_id)
+        take = max(0.0, min(req.max_bytes, seg_bytes - req.offset))
+        if take <= 0:
+            done.succeed(0.0)
+            return
+        if faults.disk_read_fails():
+            done.fail(FaultError("disk", f"map {req.map_id} spill read")).defuse()
+            return
+        cached = yield from self.fetch_payload(req, meta, file, take)
+        model = ctx.conf.record_model
+        pairs = max(1, int(round(take / model.avg_pair_bytes)))
+        plan = self.packetizer().plan(
+            take, pairs, model.avg_pair_bytes, model.max_pair_bytes
+        )
+        try:
+            if not ctx.ucr.is_connected(self.tt.node, requester):
+                # The pair may have been torn down by a flap since the
+                # requester connected; pay re-establishment.
+                yield from ctx.ucr.connect(self.tt.node, requester)
+            yield from ctx.ucr.endpoint(self.tt.node, requester).send(
+                take + RESPONSE_HEADER_BYTES * max(1, plan.n_packets),
+                messages=max(1, plan.n_packets),
+            )
+        except FaultError as exc:
+            done.fail(exc).defuse()
+            return
+        self.bytes_served += take
+        ctx.counters.add("shuffle.bytes", take)
+        eof = req.offset + take >= seg_bytes
+        self.after_serve(req, meta, eof, cached=bool(cached))
+        done.succeed(take)
+
 
 @dataclass
 class FetchState:
@@ -155,6 +220,12 @@ class FetchState:
     #: Scheduler bookkeeping: present in the eager work queue / fully done.
     queued: bool = False
     done: bool = False
+    #: Fault recovery: consecutive failed fetches of this run, whether the
+    #: output was reported lost (run parked until a replacement arrives),
+    #: and how many replacement outputs this state has been re-pointed at.
+    failures: int = 0
+    lost: bool = False
+    generation: int = 0
 
     @property
     def fetch_remaining(self) -> float:
@@ -186,6 +257,9 @@ class StreamingConsumer(ShuffleConsumer):
         self._parked: list[FetchState] = []
         self._undone = 0
         self._staged_pending = 0  # staged runs not yet fully on local disk
+        #: Replacement metas that arrived before the collector created the
+        #: corresponding FetchState (late subscriber race; faults only).
+        self._pending_replacements: dict[int, MapOutputMeta] = {}
 
     # -- policy hooks ----------------------------------------------------------
 
@@ -212,17 +286,43 @@ class StreamingConsumer(ShuffleConsumer):
 
     def run(self) -> Generator[Event, Any, None]:
         sim = self.ctx.sim
+        if self.ctx.faults is not None:
+            self.ctx.board.add_replacement_listener(self._on_replacement)
         inbox = self.ctx.board.subscribe()
-        collector = sim.process(
+        collector = self._spawn(
             self._collector(inbox), name=f"r{self.reduce_id}-collector"
         )
         fetchers = [
-            sim.process(self._fetcher(), name=f"r{self.reduce_id}-fetch{i}")
+            self._spawn(self._fetcher(), name=f"r{self.reduce_id}-fetch{i}")
             for i in range(self.fetch_threads())
         ]
-        pipeline = sim.process(self._pipeline(), name=f"r{self.reduce_id}-pipeline")
-        yield sim.all_of([collector, *fetchers, pipeline])
+        pipeline = self._spawn(self._pipeline(), name=f"r{self.reduce_id}-pipeline")
+        try:
+            yield self._gather_on([collector, *fetchers, pipeline])
+        finally:
+            if self.ctx.faults is not None:
+                self.ctx.board.remove_replacement_listener(self._on_replacement)
         self.ctx.counters.add("reduce.completed", 1)
+
+    def _on_replacement(self, meta: MapOutputMeta) -> None:
+        """A re-executed map's new output is available: re-point its run.
+
+        Fetch progress (``offset``) is preserved — partitioning is
+        deterministic, so the replacement output is byte-identical and
+        the remainder resumes where the lost copy left off.
+        """
+        state = self.states.get(meta.map_id)
+        if state is None:
+            self._pending_replacements[meta.map_id] = meta
+            return
+        if state.done:
+            return
+        state.meta = meta
+        state.lost = False
+        state.failures = 0
+        state.generation += 1
+        self._enqueue(state)
+        self._signal()
 
     # -- signalling -------------------------------------------------------------
 
@@ -251,6 +351,13 @@ class StreamingConsumer(ShuffleConsumer):
                 self._staged_pending += 1
                 self.ctx.counters.add("reduce.staged_runs", 1)
             self.states[meta.map_id] = state
+            if self._pending_replacements:
+                # A replacement beat this (late-subscribing) collector to
+                # the punch; start straight from the current copy.
+                newer = self._pending_replacements.pop(meta.map_id, None)
+                if newer is not None:
+                    state.meta = newer
+                    state.generation += 1
             self.vm.add_run(meta.map_id, seg_bytes)
             if self._has_work(state):
                 self._undone += 1
@@ -296,7 +403,7 @@ class StreamingConsumer(ShuffleConsumer):
         if vm.all_declared:
             for run_id in vm.bottlenecks(k=self.fetch_threads() * 2):
                 state = self.states[run_id]
-                if not state.in_flight and self._has_work(state):
+                if not state.in_flight and not state.lost and self._has_work(state):
                     return state
         if not self.eager() and not vm.all_declared:
             return None
@@ -304,6 +411,10 @@ class StreamingConsumer(ShuffleConsumer):
             state = self._work_queue.popleft()
             state.queued = False
             if state.in_flight or state.done or not self._has_work(state):
+                continue
+            if state.lost:
+                # Parked until the replacement output is republished
+                # (_on_replacement re-enqueues it).
                 continue
             if state.staged and not state.staged_done:
                 return state
@@ -368,7 +479,64 @@ class StreamingConsumer(ShuffleConsumer):
     def _request(
         self, state: FetchState, nbytes: float
     ) -> Generator[Event, Any, float]:
-        """RDMACopier: request/response over UCR endpoints."""
+        """RDMACopier: request/response over UCR endpoints.
+
+        Under fault injection this wraps the raw exchange in the retry /
+        back-off / penalty-box / report-lost loop; without a plan it is
+        exactly the raw exchange.
+        """
+        if self.ctx.faults is None:
+            got = yield from self._request_once(state, nbytes)
+            return got
+        got = yield from self._request_robust(state, nbytes)
+        return got
+
+    def _request_robust(
+        self, state: FetchState, nbytes: float
+    ) -> Generator[Event, Any, float]:
+        """Fetch with recovery: retries, back-off, and loss reporting."""
+        from repro.faults import FaultError
+        from repro.mapreduce.maptask import TaskFailure
+
+        ctx = self.ctx
+        conf = ctx.conf
+        faults = ctx.faults
+        while True:
+            if faults.node_dead(self.node.name):
+                # Our own node is gone; the whole reduce attempt dies.
+                raise TaskFailure(f"reduce-{self.reduce_id}", self.attempt)
+            if state.lost:
+                return 0.0  # parked until the replacement arrives
+            host = state.meta.host
+            wait = self._penalty_remaining(host)
+            if wait > 0:
+                yield ctx.sim.timeout(wait)
+                continue  # re-check: the host may have been replaced
+            try:
+                got = yield from self._request_once(state, nbytes)
+            except FaultError:
+                t0 = ctx.sim.now
+                state.failures += 1
+                delay = self._fetch_backoff(host)
+                if state.failures >= conf.fetch_retry_limit:
+                    if not state.lost:
+                        state.lost = True
+                        ctx.counters.add("shuffle.retry.reports", 1)
+                        ctx.report_fetch_failure(state.meta)
+                    return 0.0
+                yield ctx.sim.timeout(delay)
+                ctx.tracer.record(
+                    f"reduce-{self.reduce_id}", "retry", t0, ctx.sim.now, 0.0
+                )
+                continue
+            self._note_fetch_success(host)
+            state.failures = 0
+            return got
+
+    def _request_once(
+        self, state: FetchState, nbytes: float
+    ) -> Generator[Event, Any, float]:
+        """One raw request/response exchange (no recovery)."""
         ctx = self.ctx
         tt_node = ctx.cluster.node(state.meta.host)
         if not ctx.ucr.is_connected(self.node, tt_node):
@@ -402,21 +570,26 @@ class StreamingConsumer(ShuffleConsumer):
         self._staging_active += 1
         t0 = self.ctx.sim.now
         try:
-            state.staged_file = self.node.fs.create(
-                f"staged/r{self.reduce_id}a{self.attempt}/m{state.meta.map_id}"
-            )
+            if state.staged_file is None:
+                # (A fault-interrupted staging pass resumes into the same
+                # file at the preserved offset.)
+                state.staged_file = self.node.fs.create(
+                    f"staged/r{self.reduce_id}a{self.attempt}/m{state.meta.map_id}"
+                )
             buf = min(state.seg_bytes, self.wave_cap_bytes())
             while state.fetch_remaining > 0:
                 step = min(buf, state.fetch_remaining)
                 got = yield from self._request(state, step)
+                if got <= 0:
+                    break  # run reported lost; resume after the republish
                 state.offset += got
                 yield from self.node.fs.write(
                     state.staged_file,
                     got,
                     stream_id=f"stage-r{self.reduce_id}",
                 )
-                if got <= 0:
-                    break
+            if state.fetch_remaining > 0:
+                return  # staging paused; a later pass finishes the run
             state.staged_done = True
             self._staged_pending -= 1
             self.ctx.counters.add("reduce.staged_bytes", state.seg_bytes)

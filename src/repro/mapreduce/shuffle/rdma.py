@@ -97,6 +97,18 @@ class RdmaShuffleProvider(QueueingProvider):
             self.prefetcher.demand_load(meta, file, req.reduce_id)
         return False
 
+    def on_output_lost(self, meta: MapOutputMeta) -> None:
+        """Drop every cached segment of a condemned map output.
+
+        Re-executed replacements live on another node; serving the stale
+        copy from this cache would hide the loss.  Pinned segments (a
+        responder is mid-send) are evicted as soon as they unpin.
+        """
+        if self.prefetcher is None:
+            return
+        for reduce_id in range(self.ctx.conf.n_reduces):
+            self.cache.evict((meta.map_id, reduce_id))
+
     def after_serve(
         self, req: DataRequest, meta: MapOutputMeta, eof: bool, cached: bool = False
     ) -> None:

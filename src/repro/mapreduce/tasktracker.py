@@ -55,6 +55,21 @@ class TaskTracker:
         self.ctx.record_map_completion(meta)
         return True
 
+    def invalidate_map_output(self, map_id: int) -> None:
+        """Condemn a local map output after a fetch-failure report.
+
+        Responders consult ``map_outputs`` per request, so in-flight and
+        future fetches observe the loss immediately.  The file itself is
+        left on disk: a responder may be mid-read, and the re-executed
+        map produces identical bytes anyway.
+        """
+        entry = self.map_outputs.pop(map_id, None)
+        if entry is None:
+            return
+        meta, _file = entry
+        if self.provider is not None:
+            self.provider.on_output_lost(meta)
+
     def output_of(self, map_id: int) -> tuple[MapOutputMeta, LocalFile]:
         entry = self.map_outputs.get(map_id)
         if entry is None:

@@ -13,6 +13,10 @@ committed under ``benchmarks/baselines/``:
   ``event_reduction``) must not fall below baseline by more than the
   tolerance (one-sided: getting faster is fine, losing the incremental
   speedup is a regression).
+* **faults** — each engine's chaos slowdown (faulty/clean runtime under
+  the standard fault plan) must not exceed the baseline by more than
+  ``_FAULTS_TOLERANCE`` (one-sided: recovering faster is fine; a costlier
+  recovery path is a regression).
 
 Comparisons are scale-matched: a document whose ``scale`` differs from
 the baseline's is skipped with a warning rather than mis-compared.
@@ -35,6 +39,10 @@ DEFAULT_TOLERANCE = 0.05
 
 #: simperf ratio keys checked one-sidedly (below baseline - tol fails).
 _SIMPERF_RATIOS = ("rerate_work_reduction", "event_reduction")
+
+#: Absolute slack on chaos slowdowns (they are ratios around 1.5-2x and
+#: shift with any shuffle-timing change; only a clear regression fails).
+_FAULTS_TOLERANCE = 0.5
 
 
 def _load(path: Path) -> dict:
@@ -87,6 +95,24 @@ def compare_simperf(name: str, fresh: dict, base: dict, tolerance: float) -> lis
     return problems
 
 
+def compare_faults(name: str, fresh: dict, base: dict) -> list[str]:
+    problems = []
+    want = base.get("slowdowns", {})
+    got = fresh.get("slowdowns", {})
+    if not want:
+        problems.append(f"{name}: baseline has no slowdowns")
+    for engine, slowdown in want.items():
+        if engine not in got:
+            problems.append(f"{name}: missing engine {engine}")
+            continue
+        if got[engine] > slowdown + _FAULTS_TOLERANCE:
+            problems.append(
+                f"{name}: {engine} chaos slowdown rose to {got[engine]:.2f}x "
+                f"from baseline {slowdown:.2f}x (tolerance {_FAULTS_TOLERANCE})"
+            )
+    return problems
+
+
 def check(
     bench_dir: str | os.PathLike[str],
     baseline_dir: str | os.PathLike[str],
@@ -115,6 +141,8 @@ def check(
             continue
         if base.get("benchmark") == "simperf":
             problems += compare_simperf(name, fresh, base, tolerance)
+        elif base.get("benchmark") == "faults":
+            problems += compare_faults(name, fresh, base)
         else:
             problems += compare_figure(name, fresh, base, tolerance)
         notes.append(f"{name}: compared at scale {base.get('scale')}")
@@ -128,6 +156,9 @@ def prune_baseline(doc: dict) -> dict:
     """The subset of a benchmark document worth committing as a baseline."""
     if doc.get("benchmark") == "simperf":
         keep = ("benchmark", "figure", "scale") + _SIMPERF_RATIOS
+        return {key: doc[key] for key in keep if key in doc}
+    if doc.get("benchmark") == "faults":
+        keep = ("benchmark", "figure", "scale", "slowdowns")
         return {key: doc[key] for key in keep if key in doc}
     return {
         "figure": doc.get("figure"),
