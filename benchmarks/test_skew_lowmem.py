@@ -1,0 +1,149 @@
+"""Robustness benchmark: skewed TeraSort on a memory-starved reducer.
+
+Runs a Zipf-skewed TeraSort (``partition_skew=1.2`` — the hottest
+reducer receives several times its fair share) on every shuffle engine,
+first unconstrained, then with the reducer heap cut to 0.25x and the
+backpressure/spill knobs on (credit window, responder admission control,
+spill-to-disk + multi-pass merge).  Checks graceful degradation:
+
+* the constrained run completes with the unconstrained output bytes;
+* it costs at most ``MAX_SLOWDOWN`` x the unconstrained run — spilling
+  trades time, never correctness;
+* the reducer shuffle-memory high-water stays within the shrunken
+  budget, and the streaming engines actually exercised the spill path.
+
+Exports ``BENCH_skew.json`` (slowdowns + degradation counters per
+engine) so ``tools/bench_trend.py`` gates the cost of running degraded
+across PRs (one-sided: getting cheaper is fine).
+"""
+
+import dataclasses
+import json
+import os
+
+from repro.cluster.presets import westmere_cluster
+from repro.mapreduce.driver import run_job
+from repro.mapreduce.job import terasort_job
+from repro.mapreduce.shuffle.base import ENGINES
+
+from .conftest import bench_scale
+
+GB = 1 << 30
+MB = 1 << 20
+
+N_NODES = 3
+SEED = 3
+SKEW = 1.2
+HEAP_FRAC = 0.25
+MAX_SLOWDOWN = 3.0
+
+#: Degradation knobs for the constrained runs.
+LOWMEM_KNOBS = dict(
+    shuffle_spill_threshold=0.55,
+    merge_factor=4,
+    recv_credits=4,
+    responder_queue_limit=16,
+)
+
+#: Counters exported per engine (degradation activity fingerprint).
+_EXPORT_COUNTERS = (
+    "shuffle.spill.runs",
+    "shuffle.spill.bytes",
+    "shuffle.spill.merge_passes",
+    "shuffle.spill.merge_bytes",
+    "shuffle.backpressure.mem_stalls",
+    "shuffle.backpressure.credit_waits",
+    "shuffle.backpressure.credits_withheld",
+    "shuffle.backpressure.deferred_requests",
+    "shuffle.mem.high_water_bytes",
+    "reduce.restored_bytes",
+)
+
+
+def _conf(engine: str, data_bytes: float, lowmem: bool):
+    conf = dataclasses.replace(
+        terasort_job(data_bytes, N_NODES, engine, block_bytes=64 * MB),
+        partition_skew=SKEW,
+    )
+    if not lowmem:
+        return conf
+    return dataclasses.replace(
+        conf,
+        costs=dataclasses.replace(
+            conf.costs, task_heap_bytes=HEAP_FRAC * conf.costs.task_heap_bytes
+        ),
+        **LOWMEM_KNOBS,
+    )
+
+
+def _run_engine(engine: str, data_bytes: float) -> dict:
+    clean = run_job(
+        westmere_cluster(N_NODES), "ipoib", _conf(engine, data_bytes, False),
+        seed=SEED,
+    )
+    low = run_job(
+        westmere_cluster(N_NODES), "ipoib", _conf(engine, data_bytes, True),
+        seed=SEED,
+    )
+    # low.conf.costs.task_heap_bytes is already the 0.25x heap.
+    budget = (
+        low.conf.costs.task_heap_bytes * low.conf.shuffle_input_buffer_percent
+    )
+    counters = {key: low.counters.get(key, 0.0) for key in _EXPORT_COUNTERS}
+    return {
+        "clean_seconds": clean.execution_time,
+        "lowmem_seconds": low.execution_time,
+        "slowdown": low.execution_time / clean.execution_time,
+        "clean_output_bytes": clean.counters.get("reduce.output_bytes", 0.0),
+        "lowmem_output_bytes": low.counters.get("reduce.output_bytes", 0.0),
+        "memory_budget_bytes": budget,
+        "counters": counters,
+    }
+
+
+def _check(engine: str, r: dict) -> None:
+    rel = abs(r["lowmem_output_bytes"] - r["clean_output_bytes"])
+    assert rel <= 1e-6 * max(1.0, r["clean_output_bytes"]), (
+        f"{engine}: constrained run lost output bytes"
+    )
+    assert r["slowdown"] <= MAX_SLOWDOWN, (
+        f"{engine}: low-memory slowdown {r['slowdown']:.2f}x exceeds "
+        f"{MAX_SLOWDOWN}x"
+    )
+    c = r["counters"]
+    assert c["shuffle.mem.high_water_bytes"] <= r["memory_budget_bytes"], (
+        f"{engine}: shuffle memory high-water exceeded the budget"
+    )
+    if engine == "rdma":
+        # The streaming OSU-IB engine must have degraded via the dynamic
+        # spill path, not by luck of scheduling.
+        assert c["shuffle.spill.runs"] > 0, f"{engine}: no spill-to-disk runs"
+        assert c["shuffle.spill.bytes"] > 0, f"{engine}: no bytes spilled"
+
+
+def test_skew_lowmem_all_engines(benchmark):
+    scale = bench_scale()
+    data_bytes = scale * 20 * GB
+
+    def sweep():
+        return {engine: _run_engine(engine, data_bytes) for engine in ENGINES}
+
+    engines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for engine, r in engines.items():
+        _check(engine, r)
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "benchmark": "skew",
+        "figure": "skew",
+        "scale": scale,
+        "skew": SKEW,
+        "heap_frac": HEAP_FRAC,
+        "slowdowns": {engine: r["slowdown"] for engine, r in engines.items()},
+        "engines": engines,
+    }
+    path = os.path.join(out_dir, "BENCH_skew.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -50,6 +50,8 @@ class CacheStats:
     bytes_hit: float = 0.0
     bytes_missed: float = 0.0
     promotions: int = 0
+    pressure_sheds: int = 0  # entries dropped by shed() (node memory pressure)
+    bytes_shed: float = 0.0
 
     @property
     def lookups(self) -> int:
@@ -61,7 +63,7 @@ class CacheStats:
 
     def metrics_snapshot(self) -> dict[str, float]:
         """Flat view for :class:`repro.obs.registry.MetricsRegistry`."""
-        return {
+        snap = {
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hit_rate(),
@@ -74,6 +76,12 @@ class CacheStats:
             "bytes_missed": self.bytes_missed,
             "promotions": float(self.promotions),
         }
+        if self.pressure_sheds:
+            # Only present when memory-pressure shedding actually fired, so
+            # knob-free metric exports stay byte-identical.
+            snap["pressure_sheds"] = float(self.pressure_sheds)
+            snap["bytes_shed"] = self.bytes_shed
+        return snap
 
 
 @dataclass
@@ -232,6 +240,30 @@ class PrefetchCache:
     def _drop(self, entry: _Entry) -> None:
         del self._entries[entry.seg_id]
         self._used -= entry.nbytes
+
+    def shed(self, nbytes: float) -> float:
+        """Release ~``nbytes`` by dropping the least valuable residents.
+
+        Memory-pressure coupling: a co-located reducer that hit its
+        shuffle-memory budget needs the node's RAM more than speculative
+        prefetches do.  Victims are unpinned entries in ascending
+        (priority, recency) order; returns the bytes actually freed.
+        """
+        if nbytes <= 0 or not self._entries:
+            return 0.0
+        victims = sorted(
+            (e for e in self._entries.values() if e.pinned == 0),
+            key=lambda e: (e.priority, e.last_access),
+        )
+        freed = 0.0
+        for victim in victims:
+            if freed >= nbytes:
+                break
+            self._drop(victim)
+            self.stats.pressure_sheds += 1
+            self.stats.bytes_shed += victim.nbytes
+            freed += victim.nbytes
+        return freed
 
     def demand(self, seg_id: Hashable, priority: float | None = None) -> None:
         """Record reducer demand without a lookup (advance notice)."""

@@ -43,10 +43,14 @@ class DataToReduceQueue:
     def __init__(self) -> None:
         self._items: deque[Any] = deque()
         self.total_enqueued = 0
+        #: Largest queue length ever observed (memory-budget accounting).
+        self.high_water = 0
 
     def push(self, record: Any) -> None:
         self._items.append(record)
         self.total_enqueued += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
 
     def pop(self) -> Any:
         return self._items.popleft()
@@ -156,6 +160,15 @@ class KWayMerger:
             r.eof and not r.buffer for r in self._runs.values()
         )
 
+    @property
+    def buffered_records(self) -> int:
+        """Records held inside the merge (run buffers + heap heads).
+
+        This is the reducer-side memory the shuffle budget bounds: fed but
+        not yet extracted.
+        """
+        return self.records_in - self.records_out
+
     def starving(self) -> list[Any]:
         """Runs whose buffer is empty but that have more data coming.
 
@@ -184,10 +197,19 @@ class KWayMerger:
         self.records_out += 1
         return record
 
-    def drain_ready(self, sink: DataToReduceQueue | None = None) -> list[Any]:
-        """Extract as many records as the refill protocol allows right now."""
+    def drain_ready(
+        self, sink: DataToReduceQueue | None = None, max_records: int | None = None
+    ) -> list[Any]:
+        """Extract as many records as the refill protocol allows right now.
+
+        ``max_records`` bounds one drain batch so a budget-constrained
+        driver can cap DataToReduceQueue growth and let the reduce side
+        consume between batches (remaining ready records stay buffered).
+        """
         out: list[Any] = []
         while self.ready():
+            if max_records is not None and len(out) >= max_records:
+                break
             rec = self.pop()
             if sink is not None:
                 sink.push(rec)

@@ -51,12 +51,18 @@ class EngineConfig:
     partitioning: str = "range"
     #: TaskTracker-side PrefetchCache capacity (0 disables caching).
     cache_bytes: float = 64 << 20
+    #: Bound on the DataToReduceQueue (records). None: unbounded (the
+    #: seed behaviour); set, the reducer consumes incrementally under the
+    #: shuffle-memory budget and the queue's high_water stays <= bound.
+    max_queue_records: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_reducers < 1:
             raise ValueError("need at least one reducer")
         if self.partitioning not in ("range", "hash"):
             raise ValueError(f"unknown partitioning {self.partitioning!r}")
+        if self.max_queue_records is not None and self.max_queue_records < 1:
+            raise ValueError("max_queue_records must be >= 1")
 
 
 @dataclass
@@ -134,8 +140,13 @@ class LocalJobRunner:
         partitions: list[list[Record]] = []
         for reduce_id in range(cfg.n_reducers):
             queue = DataToReduceQueue()
-            shuffle_and_merge(reduce_id, server, sorted(by_id), sink=queue)
-            partitions.append(self._reduce(queue))
+            if cfg.max_queue_records is None:
+                shuffle_and_merge(reduce_id, server, sorted(by_id), sink=queue)
+                partitions.append(self._reduce(queue))
+            else:
+                partitions.append(
+                    self._reduce_bounded(reduce_id, server, by_id, queue)
+                )
 
         return JobOutput(
             partitions=partitions,
@@ -146,9 +157,56 @@ class LocalJobRunner:
 
     def _reduce(self, queue: DataToReduceQueue) -> list[Record]:
         """Group the sorted stream by key and apply the reduce function."""
+        return self._reduce_records(queue.drain())
+
+    def _reduce_records(self, stream: list[Record]) -> list[Record]:
         out: list[Record] = []
-        stream = queue.drain()
         for key, group in itertools.groupby(stream, key=lambda r: r[0]):
             values = [v for _k, v in group]
             out.extend(self.reducer(key, values))
+        return out
+
+    def _reduce_bounded(
+        self,
+        reduce_id: int,
+        server: SegmentServer,
+        by_id: dict[int, MapOutput],
+        queue: DataToReduceQueue,
+    ) -> list[Record]:
+        """Shuffle/merge/reduce with a bounded DataToReduceQueue.
+
+        The merge drains into ``queue`` in capped batches; whenever the
+        queue fills, the reducer consumes every *complete* key group (the
+        trailing group may continue in the next batch, so its records stay
+        pending — groups are never split across reduce calls and the
+        output is identical to the unbounded run).
+        """
+        out: list[Record] = []
+        pending: list[Record] = []
+
+        def flush_complete_groups() -> None:
+            if not pending:
+                return
+            last_key = pending[-1][0]
+            cut = len(pending)
+            while cut > 0 and pending[cut - 1][0] == last_key:
+                cut -= 1
+            if cut > 0:
+                out.extend(self._reduce_records(pending[:cut]))
+                del pending[:cut]
+
+        def consume(q: DataToReduceQueue) -> None:
+            pending.extend(q.drain())
+            flush_complete_groups()
+
+        shuffle_and_merge(
+            reduce_id,
+            server,
+            sorted(by_id),
+            sink=queue,
+            max_queue_records=self.config.max_queue_records,
+            consume=consume,
+        )
+        pending.extend(queue.drain())
+        out.extend(self._reduce_records(pending))
         return out

@@ -16,7 +16,7 @@ This is the paper's data path executed for real:
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from repro.core.cache import PrefetchCache
@@ -105,13 +105,28 @@ def shuffle_and_merge(
     server: SegmentServer,
     map_ids: list[int],
     sink: DataToReduceQueue | None = None,
+    max_queue_records: int | None = None,
+    consume: Callable[[DataToReduceQueue], None] | None = None,
 ) -> list[Record]:
     """Fetch all segments for ``reduce_id`` and merge them, packet-driven.
 
     Implements the paper's loop: first packet of every run builds the
     priority queue; extraction runs until some run's pairs hit zero; that
     run's next packet is requested; repeat until every run is exhausted.
+
+    With ``max_queue_records`` set (requires a ``sink``), the
+    DataToReduceQueue is bounded: each drain batch is capped so the queue
+    never exceeds the budget, and ``consume`` is invoked to let the reduce
+    side pull records out whenever the queue is full — the backpressure
+    path of a memory-constrained reducer.  When ``consume`` is given the
+    sorted stream flows through it and the return value is empty (nothing
+    is double-buffered).
     """
+    if max_queue_records is not None:
+        if sink is None:
+            raise ValueError("max_queue_records requires a sink queue")
+        if max_queue_records < 1:
+            raise ValueError("max_queue_records must be >= 1")
     merger = KWayMerger()
     done: set[int] = set()
     for map_id in map_ids:
@@ -121,9 +136,24 @@ def shuffle_and_merge(
         if eof:
             done.add(map_id)
     out: list[Record] = []
+    collect = consume is None
     while not merger.exhausted:
-        drained = merger.drain_ready(sink=sink)
-        out.extend(drained)
+        limit = None
+        if max_queue_records is not None:
+            if len(sink) >= max_queue_records:
+                if consume is None:
+                    raise RuntimeError(
+                        "DataToReduceQueue full and no consumer to drain it"
+                    )
+                consume(sink)
+            limit = max(1, max_queue_records - len(sink))
+        drained = merger.drain_ready(sink=sink, max_records=limit)
+        if collect:
+            out.extend(drained)
+        if limit is not None and merger.ready():
+            # The cap stopped the drain early; the merge is not stalled —
+            # give the consumer a chance and keep extracting.
+            continue
         starving = merger.starving()
         if not starving:
             if merger.exhausted:

@@ -156,6 +156,11 @@ class JobContext:
             self.metrics.register("faults", self.faults.counters)
             self.metrics.register("ucr", self.ucr.fault_metrics)
             self.faults.start()
+        if conf.ucr_tracing:
+            # Per-send UCR spans + endpoint queue-depth gauges; ucr.net.*
+            # appears in the metrics tree only when the knob is set.
+            self.ucr.enable_tracing(self.tracer)
+            self.metrics.register("ucr.net", self.ucr.net_metrics)
         #: Flow-network re-rating / wake-hygiene counters (fabric shared by
         #: socket transports and the UCR verbs engines alike).
         self.metrics.register("net", cluster.fabric)

@@ -125,6 +125,37 @@ class JobConf:
     #: permanently downgrades that pair to the IPoIB socket transport.
     verbs_downgrade_after: int = 3
 
+    # -- flow control & memory pressure (backpressure/spill knob block) -----------
+    # Inert by default, same contract as the fault block above: with every
+    # knob at its zero value no new events are scheduled, no new counters
+    # appear, and runs stay event-for-event identical to a build without
+    # this subsystem.
+    #
+    #: Fraction of the reduce-side shuffle buffer at which a levitated run
+    #: that cannot be admitted is *demoted* to a disk spill (and the http
+    #: engine additionally triggers its in-memory merge).  0 disables the
+    #: memory budget enforcement entirely (the pre-spill unbounded model).
+    shuffle_spill_threshold: float = 0.0
+    #: Fan-in of intermediate spill-merge passes (Hadoop's io.sort.factor
+    #: applied to shuffle spills); 0 means "use io_sort_factor".
+    merge_factor: int = 0
+    #: Credit-based receive window: outstanding in-memory fetches one
+    #: reducer may have in flight (Liu et al., MPICH2-over-IB flow
+    #: control).  A merge-stalled reducer withholds credit grants until it
+    #: drains.  0 disables the window.
+    recv_credits: int = 0
+    #: TaskTracker-side admission control: DataRequests beyond this queue
+    #: depth are parked (deferred) instead of flooding the responder pool;
+    #: the http servlet applies the same bound to its accept backlog.
+    #: 0 means unbounded (the pre-admission-control behaviour).
+    responder_queue_limit: int = 0
+    #: Deterministic reducer partition skew: partition r of every map
+    #: output is weighted ~ (r+1)^-skew (0 = exactly even, the default).
+    partition_skew: float = 0.0
+    #: Per-send UCR tracing: endpoint send spans + queue-depth gauges
+    #: (``ucr.net.*``) and per-fetch ``net-wait`` spans on the reducers.
+    ucr_tracing: bool = False
+
     # -- costs -------------------------------------------------------------------
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -138,6 +169,31 @@ class JobConf:
             raise ValueError("data_bytes and block_bytes must be positive")
         if self.n_reduces < 1:
             raise ValueError("need at least one reducer")
+        if not 0.0 <= self.shuffle_spill_threshold <= 1.0:
+            raise ValueError(
+                f"shuffle_spill_threshold must be in [0, 1], "
+                f"got {self.shuffle_spill_threshold}"
+            )
+        if self.merge_factor < 0 or self.recv_credits < 0:
+            raise ValueError("merge_factor and recv_credits must be >= 0")
+        if self.responder_queue_limit < 0:
+            raise ValueError("responder_queue_limit must be >= 0")
+        if self.partition_skew < 0:
+            raise ValueError("partition_skew must be >= 0")
+
+    @property
+    def backpressure_active(self) -> bool:
+        """Whether any flow-control/spill knob departs from its inert zero."""
+        return (
+            self.shuffle_spill_threshold > 0
+            or self.recv_credits > 0
+            or self.responder_queue_limit > 0
+        )
+
+    @property
+    def effective_merge_factor(self) -> int:
+        """Spill-merge fan-in: ``merge_factor``, or io.sort.factor when unset."""
+        return self.merge_factor if self.merge_factor > 0 else self.io_sort_factor
 
     @property
     def n_maps(self) -> int:

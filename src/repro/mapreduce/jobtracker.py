@@ -133,6 +133,29 @@ class JobTracker:
             counters["ucr.downgrades"] = float(ctx.ucr.downgrades)
             for key, value in ctx.faults.counters.as_dict().items():
                 counters[f"faults.{key}"] = value
+        if conf.backpressure_active:
+            # Stable backpressure/spill key set when any flow-control knob
+            # is on (0 = the pressure never materialised); absent on
+            # knob-free runs so their BENCH exports stay bit-identical.
+            for key in (
+                "shuffle.backpressure.credit_waits",
+                "shuffle.backpressure.credit_wait_seconds",
+                "shuffle.backpressure.credits_withheld",
+                "shuffle.backpressure.deferred_requests",
+                "shuffle.backpressure.mem_stalls",
+                "shuffle.backpressure.mem_stall_seconds",
+                "shuffle.spill.runs",
+                "shuffle.spill.bytes",
+                "shuffle.spill.merge_passes",
+                "shuffle.spill.merge_bytes",
+                "shuffle.mem.high_water_bytes",
+            ):
+                counters.setdefault(key, 0.0)
+        if conf.ucr_tracing:
+            # Endpoint queue-depth gauge feeding the backpressure view.
+            counters["shuffle.backpressure.max_endpoint_depth"] = float(
+                ctx.ucr.max_endpoint_depth
+            )
         # Always present so BENCH exports can compare designs: 0 means every
         # serve was a cache hit (no TaskTracker-side disk read).
         counters.setdefault("shuffle.tt_disk_read_bytes", 0.0)

@@ -42,14 +42,25 @@ def map_output_file_name(map_id: int) -> str:
 
 
 def _partition_sizes(
-    total_bytes: float, avg_pair: float, n_reduces: int
+    total_bytes: float, avg_pair: float, n_reduces: int, skew: float = 0.0
 ) -> tuple[tuple[float, int], ...]:
-    """Even partitioning of a map's output across reducers.
+    """Partitioning of a map's output across reducers.
 
     Hash partitioning of uniformly random keys is balanced in expectation;
     we keep it exactly balanced for determinism (per-partition jitter is
-    dwarfed by per-node totals at the evaluated scales).
+    dwarfed by per-node totals at the evaluated scales).  With
+    ``partition_skew`` set, partition ``i`` instead gets a Zipf-like
+    weight ``(i + 1) ** -skew`` — the adversarial hot-reducer shape the
+    backpressure/spill machinery is stress-tested against.
     """
+    if skew > 0 and n_reduces > 1 and total_bytes > 0:
+        weights = [(i + 1.0) ** -skew for i in range(n_reduces)]
+        norm = total_bytes / sum(weights)
+        out = []
+        for w in weights:
+            size = w * norm
+            out.append((size, max(1, int(round(size / avg_pair)))))
+        return tuple(out)
     per = total_bytes / n_reduces
     pairs = max(1, int(round(per / avg_pair))) if per > 0 else 0
     return tuple((per, pairs) for _ in range(n_reduces))
@@ -165,7 +176,10 @@ def run_map_task(
         map_id=map_id,
         host=node.name,
         partitions=_partition_sizes(
-            total_out, conf.record_model.avg_pair_bytes, conf.n_reduces
+            total_out,
+            conf.record_model.avg_pair_bytes,
+            conf.n_reduces,
+            skew=conf.partition_skew,
         ),
     )
     if tt.register_map_output(meta, final):

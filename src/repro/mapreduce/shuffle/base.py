@@ -18,13 +18,85 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.protocol import MapOutputMeta
 from repro.sim.core import Event
+from repro.sim.resources import Container
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mapreduce.context import JobContext
     from repro.mapreduce.tasktracker import TaskTracker
     from repro.storage.localfs import LocalFile
 
-__all__ = ["ENGINES", "ShuffleConsumer", "ShuffleProvider", "engine_by_name"]
+__all__ = [
+    "ENGINES",
+    "CreditGate",
+    "ShuffleConsumer",
+    "ShuffleProvider",
+    "engine_by_name",
+]
+
+
+class CreditGate:
+    """Credit-based receive window for one reducer (flow control).
+
+    Modelled on MPICH2-over-IB's credit scheme (Liu et al.): the receiver
+    grants the sender a fixed window of outstanding messages; each
+    in-memory fetch consumes one credit and completing it normally grants
+    the credit back.  While the gate is **paused** (the reducer's merge is
+    stalled on memory pressure) completed fetches *withhold* their grants,
+    so the window shrinks toward zero until the merge drains and
+    :meth:`resume` re-grants the withheld credits.
+
+    Disk-bound transfers (spill staging) are deliberately not gated: they
+    are the relief valve for the very pressure that pauses the gate, and
+    gating them would deadlock the spill path.
+    """
+
+    def __init__(self, ctx: "JobContext", owner: str, credits: int):
+        if credits < 1:
+            raise ValueError(f"need at least one credit, got {credits}")
+        self.ctx = ctx
+        self.owner = owner
+        self.credits = credits
+        self._tokens = Container(ctx.sim, capacity=credits, init=credits)
+        self._paused = False
+        self._withheld = 0
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """Take one credit, waiting (and counting the stall) when dry."""
+        ctx = self.ctx
+        if self._tokens.try_get(1.0):
+            return
+        ctx.counters.add("shuffle.backpressure.credit_waits", 1)
+        t0 = ctx.sim.now
+        yield self._tokens.get(1.0)
+        wait = ctx.sim.now - t0
+        if wait > 0:
+            ctx.counters.add("shuffle.backpressure.credit_wait_seconds", wait)
+            ctx.tracer.record(self.owner, "bp-wait", t0, ctx.sim.now, 0.0)
+
+    def release(self) -> None:
+        """Grant the credit back — or withhold it while paused."""
+        if self._paused:
+            self._withheld += 1
+            self.ctx.counters.add("shuffle.backpressure.credits_withheld", 1)
+        else:
+            self._tokens.put(1.0)
+
+    def pause(self) -> None:
+        """Merge stalled: stop granting credits back to the senders."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Merge drained: re-grant every credit withheld while paused."""
+        if not self._paused:
+            return
+        self._paused = False
+        while self._withheld > 0:
+            self._withheld -= 1
+            self._tokens.put(1.0)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
 
 
 class ShuffleProvider:
@@ -43,6 +115,14 @@ class ShuffleProvider:
         The JobTracker calls this (via TaskTracker.invalidate_map_output)
         when a fetch-failure report condemns this output; engines drop any
         derived state (e.g. cached segments) here.
+        """
+
+    def on_memory_pressure(self, nbytes: float) -> None:
+        """Hook invoked when a co-located reducer hits its memory budget.
+
+        A reducer that spills a run to disk is out of RAM on this node;
+        engines holding node memory (e.g. the OSU-IB PrefetchCache) shed
+        roughly ``nbytes`` of low-priority state here.  Default: no-op.
         """
 
 

@@ -24,11 +24,12 @@ ReduceTask side —
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Generator
 from typing import TYPE_CHECKING, Any
 
 from repro.core.protocol import MapOutputMeta
-from repro.mapreduce.shuffle.base import ShuffleConsumer, ShuffleProvider
+from repro.mapreduce.shuffle.base import CreditGate, ShuffleConsumer, ShuffleProvider
 from repro.sim.core import Event, Process
 from repro.sim.resources import Container, Resource, Store
 
@@ -48,6 +49,11 @@ class HttpShuffleProvider(ShuffleProvider):
             ctx.sim, capacity=ctx.conf.http_server_threads, name=f"{tt.name}.http"
         )
         self.bytes_served = 0.0
+        #: Admission control: requests beyond ``responder_queue_limit``
+        #: waiting servlet slots are deferred (0 = unlimited).
+        self._queue_limit = int(ctx.conf.responder_queue_limit)
+        self._pending = 0
+        self._deferred: deque[Event] = deque()
 
     def serve(
         self, requester_node: Any, map_id: int, reduce_id: int
@@ -75,21 +81,37 @@ class HttpShuffleProvider(ShuffleProvider):
             while fate.uniform() < conf.fetch_failure_rate:
                 self.ctx.counters.add("shuffle.fetch_retries", 1)
                 yield self.ctx.sim.timeout(conf.fetch_retry_delay)
-        with self.servlets.request() as slot:
-            yield slot
-            # The servlet streams the file: disk read and socket send
-            # proceed concurrently (response is written as data is read).
-            read = sim.process(
-                self.tt.node.fs.read(
-                    file, seg_bytes, stream_id=f"serve-m{map_id}-r{reduce_id}"
-                ),
-                name=f"http-read-m{map_id}-r{reduce_id}",
-            )
-            send = sim.process(
-                self.ctx.cluster.fabric.send(self.tt.node, requester_node, seg_bytes),
-                name=f"http-send-m{map_id}-r{reduce_id}",
-            )
-            yield sim.all_of([read, send])
+        if self._queue_limit > 0:
+            # Server-side backpressure: beyond queue_limit requests already
+            # waiting for a servlet, new arrivals are parked at accept().
+            while self._pending >= self._queue_limit + conf.http_server_threads:
+                gate = Event(sim)
+                self._deferred.append(gate)
+                self.ctx.counters.add("shuffle.backpressure.deferred_requests", 1)
+                yield gate
+        self._pending += 1
+        try:
+            with self.servlets.request() as slot:
+                yield slot
+                # The servlet streams the file: disk read and socket send
+                # proceed concurrently (response is written as data is read).
+                read = sim.process(
+                    self.tt.node.fs.read(
+                        file, seg_bytes, stream_id=f"serve-m{map_id}-r{reduce_id}"
+                    ),
+                    name=f"http-read-m{map_id}-r{reduce_id}",
+                )
+                send = sim.process(
+                    self.ctx.cluster.fabric.send(
+                        self.tt.node, requester_node, seg_bytes
+                    ),
+                    name=f"http-send-m{map_id}-r{reduce_id}",
+                )
+                yield sim.all_of([read, send])
+        finally:
+            self._pending -= 1
+            if self._deferred:
+                self._deferred.popleft().succeed()
         self.bytes_served += seg_bytes
         self.ctx.counters.add("shuffle.bytes", seg_bytes)
         self.ctx.counters.add("shuffle.tt_disk_read_bytes", seg_bytes)
@@ -136,6 +158,21 @@ class HttpShuffleConsumer(ShuffleConsumer):
         self._disk_merging = False
         self._run_seq = 0
         self.jitter = ctx.jitter(f"reduce-{reduce_id}")
+        # -- flow control & memory pressure (inert with the knobs unset) ----
+        conf = ctx.conf
+        #: In-memory merge trigger; ``shuffle_spill_threshold`` overrides
+        #: 0.20.2's shuffle.merge.percent when set.
+        self._merge_trigger = (
+            conf.shuffle_spill_threshold
+            if conf.shuffle_spill_threshold > 0
+            else conf.shuffle_merge_percent
+        ) * self.capacity
+        self._credit_gate = (
+            CreditGate(ctx, f"reduce-{reduce_id}", conf.recv_credits)
+            if conf.recv_credits > 0
+            else None
+        )
+        self._mem_hwm = 0.0
         #: Fault recovery: copiers parked on a lost map output wait here
         #: for its replacement meta (map_id -> Event).
         self._replacement_events: dict[int, Event] = {}
@@ -161,6 +198,10 @@ class HttpShuffleConsumer(ShuffleConsumer):
             yield from self._merge_barrier()
             yield from self._final_merge_passes()
             yield from self._reduce_phase()
+            if conf.backpressure_active:
+                self.ctx.counters.peak(
+                    "shuffle.mem.high_water_bytes", self._mem_hwm
+                )
         finally:
             if self.ctx.faults is not None:
                 self.ctx.board.remove_replacement_listener(self._on_replacement)
@@ -215,9 +256,18 @@ class HttpShuffleConsumer(ShuffleConsumer):
                 # of why the vanilla shuffle cannot pipeline (Figure 3 top).
                 while self._memory_merging:
                     yield self._merge_free
-                yield self.mem.get(seg_bytes)  # reserve buffer space
-                t0 = self.ctx.sim.now
-                yield from self._fetch_segment(meta)
+                if self._credit_gate is not None:
+                    yield from self._credit_gate.acquire()
+                try:
+                    yield self.mem.get(seg_bytes)  # reserve buffer space
+                    used = self.capacity - self.mem.level
+                    if used > self._mem_hwm:
+                        self._mem_hwm = used
+                    t0 = self.ctx.sim.now
+                    yield from self._fetch_segment(meta)
+                finally:
+                    if self._credit_gate is not None:
+                        self._credit_gate.release()
                 self.mem_segments.append(seg_bytes)
                 self.mem_bytes += seg_bytes
                 self.ctx.tracer.record(
@@ -227,10 +277,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
                     self.ctx.sim.now,
                     seg_bytes,
                 )
-                if (
-                    self.mem_bytes
-                    >= conf.shuffle_merge_percent * self.capacity
-                ):
+                if self.mem_bytes >= self._merge_trigger:
                     self._start_memory_merge()
 
     def _fetch_segment(self, meta: MapOutputMeta) -> Generator[Event, Any, float]:
@@ -324,6 +371,10 @@ class HttpShuffleConsumer(ShuffleConsumer):
         if self._memory_merging or not self.mem_segments:
             return
         self._memory_merging = True
+        if self._credit_gate is not None:
+            # The merge is draining the buffer: stop re-granting credits
+            # until it completes (receive-window flow control).
+            self._credit_gate.pause()
         proc = self._spawn(self._memory_merge(), name=f"r{self.reduce_id}-memmerge")
         self._merge_procs.append(proc)
 
@@ -346,12 +397,14 @@ class HttpShuffleConsumer(ShuffleConsumer):
         self.mem.put(total)  # release the buffer space
         self.ctx.counters.add("reduce.memmerge_bytes", total)
         self._memory_merging = False
+        if self._credit_gate is not None:
+            self._credit_gate.resume()
         free, self._merge_free = self._merge_free, Event(sim)
         free.succeed()
         self._add_disk_run(run, total)
 
     def _maybe_start_disk_merge(self) -> None:
-        factor = self.ctx.conf.io_sort_factor
+        factor = self.ctx.conf.effective_merge_factor
         if self._disk_merging or len(self.disk_runs) < 2 * factor - 1:
             return
         self._disk_merging = True
@@ -360,7 +413,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
 
     def _disk_merge(self) -> Generator[Event, Any, None]:
         """Local FS Merger: merge the io.sort.factor smallest disk runs."""
-        factor = self.ctx.conf.io_sort_factor
+        factor = self.ctx.conf.effective_merge_factor
         self.disk_runs.sort(key=lambda f: f.size)
         victims = self.disk_runs[:factor]
         self.disk_runs = self.disk_runs[factor:]
@@ -404,7 +457,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
 
     def _final_merge_passes(self) -> Generator[Event, Any, None]:
         """Reduce the number of disk runs to io.sort.factor before reduce."""
-        factor = self.ctx.conf.io_sort_factor
+        factor = self.ctx.conf.effective_merge_factor
         while len(self.disk_runs) > factor:
             self.disk_runs.sort(key=lambda f: f.size)
             count = min(factor, len(self.disk_runs) - factor + 1)

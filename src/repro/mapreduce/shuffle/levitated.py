@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.packets import Packetizer
 from repro.core.protocol import DataRequest, MapOutputMeta
 from repro.core.virtualmerge import VirtualMerger
-from repro.mapreduce.shuffle.base import ShuffleConsumer, ShuffleProvider
+from repro.mapreduce.shuffle.base import CreditGate, ShuffleConsumer, ShuffleProvider
 from repro.sim.core import Event
 from repro.sim.resources import Store
 
@@ -63,6 +63,10 @@ class QueueingProvider(ShuffleProvider):
         super().__init__(ctx, tt)
         #: The DataRequestQueue (§III-B.1).
         self.data_request_queue = Store(ctx.sim, name=f"{tt.name}.reqq")
+        #: Admission control: beyond this backlog depth incoming requests
+        #: are parked instead of enqueued (0 = unlimited, the default).
+        self._queue_limit = int(ctx.conf.responder_queue_limit)
+        self._parked_requests: deque[tuple[DataRequest, Event, Any]] = deque()
         self.bytes_served = 0.0
         for i in range(self.responder_threads()):
             ctx.sim.process(self._responder(), name=f"{tt.name}-responder{i}")
@@ -105,13 +109,32 @@ class QueueingProvider(ShuffleProvider):
     # -- request handling ----------------------------------------------------
 
     def submit(self, req: DataRequest, done: Event, requester_node: Any) -> None:
-        """RDMAReceiver: enqueue an incoming request."""
+        """RDMAReceiver: enqueue an incoming request.
+
+        With admission control enabled (``responder_queue_limit``),
+        requests beyond the configured DataRequestQueue depth are parked
+        and re-admitted one-for-one as responders drain the backlog, so a
+        flood of copiers cannot grow the queue without bound.
+        """
+        if self._queue_limit > 0 and len(self.data_request_queue) >= self._queue_limit:
+            self._parked_requests.append((req, done, requester_node))
+            self.ctx.counters.add("shuffle.backpressure.deferred_requests", 1)
+            return
         self.data_request_queue.put((req, done, requester_node))
+
+    def _admit_parked(self) -> None:
+        """A responder freed a queue slot: admit deferred requests."""
+        while self._parked_requests and (
+            len(self.data_request_queue) < max(1, self._queue_limit)
+        ):
+            self.data_request_queue.put(self._parked_requests.popleft())
 
     def _responder(self) -> Generator[Event, Any, None]:
         ctx = self.ctx
         while True:
             req, done, requester = yield self.data_request_queue.get()
+            if self._parked_requests:
+                self._admit_parked()
             if ctx.faults is not None:
                 yield from self._serve_faulted(req, done, requester)
                 continue
@@ -216,6 +239,11 @@ class FetchState:
     staged_done: bool = False
     staged_file: Any = None
     restore_offset: float = 0.0
+    #: Spill bookkeeping: offset at which a run was demoted to disk (bytes
+    #: before it were merged from memory; the staged file holds the rest),
+    #: and whether its spill file was folded into a multi-pass merge.
+    stage_base: float = 0.0
+    compacted: bool = False
     seqno: int = 0
     #: Scheduler bookkeeping: present in the eager work queue / fully done.
     queued: bool = False
@@ -260,6 +288,26 @@ class StreamingConsumer(ShuffleConsumer):
         #: Replacement metas that arrived before the collector created the
         #: corresponding FetchState (late subscriber race; faults only).
         self._pending_replacements: dict[int, MapOutputMeta] = {}
+        # -- flow control & memory pressure (inert with the knobs unset) ----
+        conf = ctx.conf
+        #: Spill mode: in-memory deliveries are admitted against the
+        #: shuffle-memory budget; runs that cannot fit demote to disk.
+        self._spill_enabled = conf.shuffle_spill_threshold > 0
+        self._spill_bytes = conf.shuffle_spill_threshold * self.capacity
+        #: Level at which a paused credit gate stops re-granting credits.
+        self._pressure_bytes = (
+            self._spill_bytes if self._spill_enabled else 0.5 * self.capacity
+        )
+        #: Bytes reserved by in-flight in-memory fetches (admitted before
+        #: the first yield, so concurrent fetchers cannot double-admit).
+        self._inflight_mem = 0.0
+        self._mem_hwm = 0.0
+        self._spill_seq = 0  # distinct pass-file names for disk merges
+        self._credit_gate = (
+            CreditGate(ctx, f"reduce-{reduce_id}", conf.recv_credits)
+            if conf.recv_credits > 0
+            else None
+        )
 
     # -- policy hooks ----------------------------------------------------------
 
@@ -302,6 +350,8 @@ class StreamingConsumer(ShuffleConsumer):
         finally:
             if self.ctx.faults is not None:
                 self.ctx.board.remove_replacement_listener(self._on_replacement)
+        if self.ctx.conf.backpressure_active:
+            self.ctx.counters.peak("shuffle.mem.high_water_bytes", self._mem_hwm)
         self.ctx.counters.add("reduce.completed", 1)
 
     def _on_replacement(self, meta: MapOutputMeta) -> None:
@@ -441,6 +491,149 @@ class StreamingConsumer(ShuffleConsumer):
         wave = min(wave, self.capacity / (2.0 * self.fetch_threads()))
         return max(1.0, min(wave, state.seg_bytes))
 
+    # -- memory admission (spill mode) -----------------------------------------
+
+    def _mem_in_use(self) -> float:
+        """Shuffle-buffer bytes currently committed (buffered + in flight)."""
+        return self.vm.buffered_bytes() + self._inflight_mem
+
+    def _note_mem(self) -> None:
+        in_use = self.vm.buffered_bytes() + self._inflight_mem
+        if in_use > self._mem_hwm:
+            self._mem_hwm = in_use
+
+    def _admit_mem(self, state: FetchState, wave: float, floor: float) -> float:
+        """How many of ``wave`` bytes may enter the merge buffers right now.
+
+        In-memory deliveries are admitted up to the spill threshold; a run
+        at the merge frontier (nothing buffered — the merge is waiting on
+        it) may dip into the remaining headroom up to the full buffer
+        capacity so the frontier always advances.  Returns 0 when not even
+        ``floor`` bytes fit — the caller demotes the run to disk or parks
+        until the merge drains.
+        """
+        in_use = self._mem_in_use()
+        starving = (
+            self.vm.all_declared and self.vm.buffered_of(state.meta.map_id) <= 0
+        )
+        limit = self.capacity if starving else self._spill_bytes
+        allowed = limit - in_use
+        if wave <= allowed:
+            return wave
+        floor = min(floor, wave)
+        if allowed >= floor:
+            return allowed
+        # Liveness valve: with nothing in flight and nothing drainable,
+        # waiting cannot free memory — force minimum forward progress.
+        if self._inflight_mem <= 0 and self.vm.drainable_bytes() <= 0:
+            return floor
+        return 0.0
+
+    def _mem_stall(self) -> Generator[Event, Any, None]:
+        """Budget exhausted: park this fetcher until the merge drains.
+
+        A stalled wave made no progress, so the fetcher loop must not
+        broadcast ``_signal()`` for it — two stalled fetchers would wake
+        each other in an infinite same-instant ping-pong otherwise (the
+        wave generators return False to say so).
+        """
+        ctx = self.ctx
+        ctx.counters.add("shuffle.backpressure.mem_stalls", 1)
+        t0 = ctx.sim.now
+        yield self._wait_progress()
+        if ctx.sim.now > t0:
+            ctx.counters.add(
+                "shuffle.backpressure.mem_stall_seconds", ctx.sim.now - t0
+            )
+            ctx.tracer.record(
+                f"reduce-{self.reduce_id}", "bp-wait", t0, ctx.sim.now, 0.0
+            )
+
+    def _demote(self, state: FetchState) -> None:
+        """Memory budget exhausted: convert a levitated run to disk staging.
+
+        The in-memory prefix (``offset`` bytes) was already merged; the
+        remainder is fetched straight to a local spill file and re-read
+        during the merge, exactly like a statically staged overflow run.
+        """
+        state.staged = True
+        state.stage_base = state.offset
+        state.restore_offset = state.offset
+        self._staged_pending += 1
+        ctx = self.ctx
+        ctx.counters.add("shuffle.spill.runs", 1)
+        ctx.counters.add("shuffle.spill.bytes", state.fetch_remaining)
+        # The run no longer holds a levitated head buffer.
+        self._levitated_budget += self.min_fetch_bytes(state)
+        # Pressure coupling: the co-located TaskTracker can shed
+        # low-priority prefetched segments this node's RAM now needs.
+        provider = self.tt.provider
+        if provider is not None:
+            provider.on_memory_pressure(state.fetch_remaining)
+
+    def _maybe_compact_spills(self) -> Generator[Event, Any, None]:
+        """Multi-pass on-disk merge of spill files (io.sort.factor).
+
+        Hadoop's disk-merge trigger: once ``2*F - 1`` fully staged,
+        not-yet-restored spill files accumulate, merge the ``F`` smallest
+        into one sorted pass file so the restore phase never interleaves
+        reads from more than ~``F`` spill files.
+        """
+        conf = self.ctx.conf
+        if not self._spill_enabled and conf.merge_factor <= 0:
+            return
+        factor = max(2, conf.effective_merge_factor)
+        while True:
+            candidates = [
+                s
+                for s in self.states.values()
+                if s.staged
+                and s.staged_done
+                and not s.in_flight
+                and not s.compacted
+                and s.restore_offset <= s.stage_base
+                and s.seg_bytes - s.stage_base > 0
+            ]
+            if len(candidates) < 2 * factor - 1:
+                return
+            candidates.sort(key=lambda s: s.seg_bytes - s.stage_base)
+            victims = candidates[:factor]
+            for s in victims:
+                s.in_flight = True
+            self._spill_seq += 1
+            pass_file = self.node.fs.create(
+                f"staged/r{self.reduce_id}a{self.attempt}/pass{self._spill_seq}"
+            )
+            total = 0.0
+            t0 = self.ctx.sim.now
+            try:
+                for s in victims:
+                    nbytes = s.seg_bytes - s.stage_base
+                    yield from self.node.fs.read(
+                        s.staged_file,
+                        nbytes,
+                        stream_id=f"spillmerge-r{self.reduce_id}",
+                    )
+                    total += nbytes
+                yield from self.node.compute(
+                    conf.costs.cpu_seconds("merge", total) * self.jitter
+                )
+                yield from self.node.fs.write(
+                    pass_file, total, stream_id=f"spillmerge-r{self.reduce_id}"
+                )
+                for s in victims:
+                    s.staged_file = pass_file
+                    s.compacted = True
+            finally:
+                for s in victims:
+                    s.in_flight = False
+            self.ctx.counters.add("shuffle.spill.merge_passes", 1)
+            self.ctx.counters.add("shuffle.spill.merge_bytes", total)
+            self.ctx.tracer.record(
+                f"reduce-{self.reduce_id}", "spill-merge", t0, self.ctx.sim.now, total
+            )
+            self._signal()
+
     def _fetcher(self) -> Generator[Event, Any, None]:
         while True:
             if self.aborted:
@@ -452,29 +645,70 @@ class StreamingConsumer(ShuffleConsumer):
                 yield self._wait_progress()
                 continue
             state.in_flight = True
+            progressed = True
             try:
                 if state.staged and not state.staged_done:
                     yield from self._stage_run(state)
                 elif state.staged:
-                    yield from self._restore_wave(state)
+                    progressed = yield from self._restore_wave(state)
                 else:
-                    yield from self._fetch_wave(state)
+                    progressed = yield from self._fetch_wave(state)
             finally:
                 state.in_flight = False
             self._settle_state(state)
             self._enqueue(state)
-            self._signal()
+            if progressed:
+                self._signal()
 
-    def _fetch_wave(self, state: FetchState) -> Generator[Event, Any, None]:
-        """One network fetch batch for a levitated run."""
+    def _fetch_wave(self, state: FetchState) -> Generator[Event, Any, bool]:
+        """One network fetch batch for a levitated run.
+
+        Returns False when the wave stalled without making progress (the
+        fetcher loop then skips the progress broadcast).
+        """
         wave = min(self._wave_for(state), state.fetch_remaining)
+        if self._spill_enabled:
+            wave = self._admit_mem(state, wave, self.min_fetch_bytes(state))
+            if wave <= 0:
+                starving = (
+                    self.vm.all_declared
+                    and self.vm.buffered_of(state.meta.map_id) <= 0
+                )
+                if starving:
+                    # The merge is waiting on this very run; demoting it
+                    # would only delay the frontier by a staging pass.
+                    yield from self._mem_stall()
+                    return False
+                self._demote(state)
+                return True  # state changed: staging must be scheduled
+        # Receiver-driven flow control must never block the merge frontier:
+        # a run the merge is starving on is the only thing that can free
+        # memory (by letting the pipeline drain), so it always gets a
+        # credit — pausing it would deadlock the resume path.
+        use_credit = self._credit_gate is not None and not (
+            self.vm.all_declared and self.vm.buffered_of(state.meta.map_id) <= 0
+        )
+        if use_credit:
+            yield from self._credit_gate.acquire()
         t0 = self.ctx.sim.now
-        got = yield from self._request(state, wave)
-        state.offset += got
-        self.vm.feed(state.meta.map_id, got)
+        self._inflight_mem += wave
+        self._note_mem()
+        got = 0.0
+        try:
+            got = yield from self._request(state, wave)
+            state.offset += got
+            self.vm.feed(state.meta.map_id, got)
+        finally:
+            self._inflight_mem -= wave
+            if self._credit_gate is not None:
+                if self._mem_in_use() >= self._pressure_bytes:
+                    self._credit_gate.pause()
+                if use_credit:
+                    self._credit_gate.release()
         self.ctx.tracer.record(
             f"reduce-{self.reduce_id}", "shuffle", t0, self.ctx.sim.now, got
         )
+        return True
 
     def _request(
         self, state: FetchState, nbytes: float
@@ -555,12 +789,20 @@ class StreamingConsumer(ShuffleConsumer):
             max_bytes=nbytes,
             seqno=state.seqno,
         )
+        t0 = ctx.sim.now
         yield from ctx.ucr.endpoint(self.node, tt_node).send(req.serialized_size())
         done = Event(ctx.sim)
         provider = ctx.trackers[state.meta.host].provider
         assert isinstance(provider, QueueingProvider)
         provider.submit(req, done, self.node)
         got = yield done
+        if ctx.conf.ucr_tracing:
+            # Pure network/service wait for this exchange, distinct from
+            # the "shuffle" span (which includes admission + bookkeeping):
+            # lets the overlap report split network wait from merge CPU.
+            ctx.tracer.record(
+                f"reduce-{self.reduce_id}", "net-wait", t0, ctx.sim.now, float(got)
+            )
         return float(got)
 
     # -- staging (overflow fallback) ---------------------------------------------
@@ -592,35 +834,51 @@ class StreamingConsumer(ShuffleConsumer):
                 return  # staging paused; a later pass finishes the run
             state.staged_done = True
             self._staged_pending -= 1
-            self.ctx.counters.add("reduce.staged_bytes", state.seg_bytes)
+            staged = state.seg_bytes - state.stage_base
+            self.ctx.counters.add("reduce.staged_bytes", staged)
             self.ctx.tracer.record(
                 f"reduce-{self.reduce_id}",
                 "shuffle",
                 t0,
                 self.ctx.sim.now,
-                state.seg_bytes,
+                staged,
             )
+            yield from self._maybe_compact_spills()
         finally:
             self._staging_active -= 1
 
-    def _restore_wave(self, state: FetchState) -> Generator[Event, Any, None]:
-        """Feed the merge from a staged run's local disk copy."""
+    def _restore_wave(self, state: FetchState) -> Generator[Event, Any, bool]:
+        """Feed the merge from a staged run's local disk copy.
+
+        Returns False when the wave stalled on the memory budget.
+        """
         remaining = state.seg_bytes - state.restore_offset
         wave = min(self._wave_for(state), remaining)
         if wave <= 0:
-            return
+            return True
+        if self._spill_enabled:
+            wave = self._admit_mem(state, wave, min(remaining, 65536.0))
+            if wave <= 0:
+                yield from self._mem_stall()
+                return False
         t0 = self.ctx.sim.now
-        yield from self.node.fs.read(
-            state.staged_file,
-            wave,
-            stream_id=f"restore-r{self.reduce_id}-m{state.meta.map_id}",
-        )
-        state.restore_offset += wave
-        self.vm.feed(state.meta.map_id, wave)
+        self._inflight_mem += wave
+        self._note_mem()
+        try:
+            yield from self.node.fs.read(
+                state.staged_file,
+                wave,
+                stream_id=f"restore-r{self.reduce_id}-m{state.meta.map_id}",
+            )
+            state.restore_offset += wave
+            self.vm.feed(state.meta.map_id, wave)
+        finally:
+            self._inflight_mem -= wave
         self.ctx.counters.add("reduce.restored_bytes", wave)
         self.ctx.tracer.record(
             f"reduce-{self.reduce_id}", "restore", t0, self.ctx.sim.now, wave
         )
+        return True
 
     # -- merge + reduce pipeline ------------------------------------------------------
 
@@ -640,9 +898,20 @@ class StreamingConsumer(ShuffleConsumer):
             if drained <= 0:
                 if self.vm.exhausted:
                     break
+                if self._credit_gate is not None and self._credit_gate.paused:
+                    # The merge is stalled waiting for data: withholding
+                    # credits can only prolong the stall — re-open the
+                    # window so parked fetchers can feed the frontier.
+                    self._credit_gate.resume()
                 yield self._wait_progress()
                 continue
             self._unpark_all()
+            if (
+                self._credit_gate is not None
+                and self._credit_gate.paused
+                and self._mem_in_use() < self._pressure_bytes
+            ):
+                self._credit_gate.resume()
             self._signal()  # frontier advanced: fetchers may re-target
             t0 = sim.now
             yield from self.node.compute(

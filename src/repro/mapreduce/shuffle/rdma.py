@@ -109,6 +109,19 @@ class RdmaShuffleProvider(QueueingProvider):
         for reduce_id in range(self.ctx.conf.n_reduces):
             self.cache.evict((meta.map_id, reduce_id))
 
+    def on_memory_pressure(self, nbytes: float) -> None:
+        """A co-located reducer spilled: shed low-priority cached segments.
+
+        The PrefetchCache's speculative contents are the most expendable
+        use of node RAM; dropping them frees roughly the bytes the spilling
+        reducer is short by (shed entries re-cache on later demand).
+        """
+        if self.prefetcher is None:
+            return
+        freed = self.cache.shed(nbytes)
+        if freed > 0:
+            self.ctx.counters.add("cache.shed_bytes", freed)
+
     def after_serve(
         self, req: DataRequest, meta: MapOutputMeta, eof: bool, cached: bool = False
     ) -> None:

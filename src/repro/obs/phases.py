@@ -157,11 +157,42 @@ def overlap_report(spans: list[PhaseSpan]) -> dict[str, Any]:
             per_task.append(t)
 
     n = len(per_task)
+    phases = phase_windows(spans)
     report: dict[str, Any] = {
-        "phases": phase_windows(spans),
+        "phases": phases,
         "n_reduce_tasks": n,
         "pipelined": False,
     }
+    map_w = phases.get("map")
+    shuffle_w = phases.get("shuffle")
+    if map_w is not None and shuffle_w is not None:
+        # Map/shuffle overlap (slow-start effects): how soon after the
+        # first map started did any reducer begin pulling data, and how
+        # much of the map window the shuffle window covers.
+        map_dur = map_w["end"] - map_w["start"]
+        ov = _interval_overlap(
+            map_w["start"], map_w["end"], shuffle_w["start"], shuffle_w["end"]
+        )
+        report["map_shuffle"] = {
+            "shuffle_start_lag_seconds": shuffle_w["start"] - map_w["start"],
+            "overlap_seconds": ov,
+            "overlap_frac_of_map": ov / map_dur if map_dur > 0 else 0.0,
+            "shuffle_started_before_maps_done": shuffle_w["start"] < map_w["end"],
+        }
+    net_w = phases.get("net-wait")
+    if net_w is not None:
+        # UCR tracing on: split pure network/service wait from merge CPU
+        # (the aggregate "shuffle" span includes both sides of the story).
+        sep: dict[str, Any] = {
+            "net_wait_seconds": net_w["busy_seconds"],
+            "net_wait_spans": net_w["n_spans"],
+        }
+        merge_w = phases.get("merge")
+        if merge_w is not None:
+            sep["merge_busy_seconds"] = merge_w["busy_seconds"]
+            busy = net_w["busy_seconds"] + merge_w["busy_seconds"]
+            sep["net_wait_frac"] = net_w["busy_seconds"] / busy if busy > 0 else 0.0
+        report["net_merge_separation"] = sep
     if n == 0:
         return report
     merge_early = sum(1 for t in per_task if t["merge_started_before_shuffle_done"])

@@ -30,6 +30,15 @@ class Counter:
     def add(self, name: str, amount: float = 1.0) -> None:
         self._values[name] += amount
 
+    def peak(self, name: str, value: float) -> None:
+        """Record a high-water mark: keeps the maximum ever reported.
+
+        Still monotone (the tally only ever grows), so it composes with
+        :meth:`merge` the same way ``add`` does for per-actor maxima.
+        """
+        if value > self._values[name]:
+            self._values[name] = value
+
     def get(self, name: str, default: float = 0.0) -> float:
         return self._values.get(name, default)
 

@@ -46,7 +46,15 @@ JNI_CROSSING = 1.0e-6
 class UCREndpoint:
     """One established connection between two nodes."""
 
-    __slots__ = ("runtime", "local", "remote", "messages_sent", "bytes_sent")
+    __slots__ = (
+        "runtime",
+        "local",
+        "remote",
+        "messages_sent",
+        "bytes_sent",
+        "inflight",
+        "max_inflight",
+    )
 
     def __init__(self, runtime: "UCRRuntime", local: Node, remote: Node):
         self.runtime = runtime
@@ -54,6 +62,9 @@ class UCREndpoint:
         self.remote = remote
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        #: Send-queue depth gauges (maintained only under UCR tracing).
+        self.inflight = 0
+        self.max_inflight = 0
 
     def send(
         self, nbytes: float, messages: int = 1
@@ -64,12 +75,36 @@ class UCREndpoint:
         start = sim.now
         if runtime.faults is not None:
             runtime._check_path(self.local, self.remote)
-        if JNI_CROSSING > 0:
-            yield sim.timeout(JNI_CROSSING)
-        transport = runtime.transport_for(self.local, self.remote)
-        elapsed = yield from transport.send(self.local, self.remote, nbytes, messages)
+        tracing = runtime.tracer is not None
+        if tracing:
+            self.inflight += 1
+            if self.inflight > self.max_inflight:
+                self.max_inflight = self.inflight
+            if self.inflight > runtime.max_endpoint_depth:
+                runtime.max_endpoint_depth = self.inflight
+        try:
+            if JNI_CROSSING > 0:
+                yield sim.timeout(JNI_CROSSING)
+            transport = runtime.transport_for(self.local, self.remote)
+            elapsed = yield from transport.send(
+                self.local, self.remote, nbytes, messages
+            )
+        finally:
+            if tracing:
+                self.inflight -= 1
         self.messages_sent += messages
         self.bytes_sent += nbytes
+        if tracing:
+            runtime.net_sends += 1
+            runtime.net_send_bytes += nbytes
+            runtime.net_send_seconds += sim.now - start
+            runtime.tracer.record(
+                f"ucr:{self.local.name}->{self.remote.name}",
+                "net-send",
+                start,
+                sim.now,
+                nbytes,
+            )
         return sim.now - start
 
     def reverse(self) -> "UCREndpoint":
@@ -109,6 +144,14 @@ class UCRRuntime:
         self.teardowns = 0
         self.reconnects = 0
         self.downgrades = 0
+        #: Per-send tracing (None = off, the default: the hot path stays
+        #: counter-free).  Enabled via :meth:`enable_tracing`.
+        self.tracer: Any = None
+        self.net_sends = 0
+        self.net_send_bytes = 0.0
+        self.net_send_seconds = 0.0
+        #: Highest send-queue depth seen on any single endpoint.
+        self.max_endpoint_depth = 0
         if faults is not None:
             faults.on_flap(self.disconnect_node)
             faults.on_crash(self.disconnect_node)
@@ -205,6 +248,19 @@ class UCRRuntime:
             del self._endpoints[key]
         # Each endpoint pair occupies two directional entries.
         self.teardowns += len(victims) // 2
+
+    def enable_tracing(self, tracer: Any) -> None:
+        """Turn on per-send spans + endpoint queue-depth gauges."""
+        self.tracer = tracer
+
+    def net_metrics(self) -> dict[str, float]:
+        """``ucr.net.*`` namespace (registered only when tracing is on)."""
+        return {
+            "sends": float(self.net_sends),
+            "send_bytes": self.net_send_bytes,
+            "send_seconds": self.net_send_seconds,
+            "max_endpoint_depth": float(self.max_endpoint_depth),
+        }
 
     def fault_metrics(self) -> dict[str, float]:
         """``ucr.*`` namespace snapshot (registered only under faults)."""

@@ -1,0 +1,70 @@
+"""Property tests: graceful degradation never corrupts or blows the budget.
+
+For arbitrary partition skew and reducer heap sizes, a run with the
+backpressure/spill knobs enabled must (a) complete, (b) produce exactly
+the output bytes of the unconstrained run with the same skew, and
+(c) keep the reducer shuffle-memory high-water within the configured
+budget — spilling to disk is allowed to cost time, never correctness or
+memory.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import westmere_cluster
+from repro.mapreduce import run_job, terasort_job
+
+GB = 1024**3
+MB = 1024**2
+
+N_NODES = 2
+
+
+def _run(conf, seed=7):
+    return run_job(westmere_cluster(N_NODES), "ipoib", conf, seed=seed)
+
+
+def _base(engine, skew):
+    return dataclasses.replace(
+        terasort_job(512 * MB, N_NODES, engine, block_bytes=32 * MB),
+        partition_skew=skew,
+    )
+
+
+@given(
+    engine=st.sampled_from(["rdma", "hadoopa", "http"]),
+    skew=st.floats(min_value=0.0, max_value=2.0),
+    heap_frac=st.floats(min_value=0.15, max_value=0.6),
+)
+@settings(max_examples=10, deadline=None)
+def test_budgeted_run_matches_unbounded_output_within_budget(
+    engine, skew, heap_frac
+):
+    base = _base(engine, skew)
+    clean = _run(base)
+    low = dataclasses.replace(
+        base,
+        costs=dataclasses.replace(
+            base.costs, task_heap_bytes=heap_frac * base.costs.task_heap_bytes
+        ),
+        shuffle_spill_threshold=0.55,
+        merge_factor=4,
+        recv_credits=4,
+        responder_queue_limit=16,
+    )
+    result = _run(low)
+    assert result.counters["reduce.completed"] == low.n_reduces
+    # Byte-identical up to float summation order (the spill path slices
+    # the same bytes into different-sized waves).
+    assert result.counters["reduce.output_bytes"] == pytest.approx(
+        clean.counters["reduce.output_bytes"], rel=1e-12
+    )
+    budget = heap_frac * base.costs.task_heap_bytes * base.shuffle_input_buffer_percent
+    assert result.counters["shuffle.mem.high_water_bytes"] <= budget + 1e-6
+    # Determinism: the constrained run is bit-repeatable under its seed.
+    again = _run(low)
+    assert again.execution_time == result.execution_time
+    assert again.counters == result.counters

@@ -17,6 +17,11 @@ committed under ``benchmarks/baselines/``:
   the standard fault plan) must not exceed the baseline by more than
   ``_FAULTS_TOLERANCE`` (one-sided: recovering faster is fine; a costlier
   recovery path is a regression).
+* **skew** — each engine's low-memory slowdown (skewed TeraSort with a
+  0.25x heap and the backpressure/spill knobs on, vs unconstrained) must
+  not exceed the baseline by more than ``_SKEW_TOLERANCE`` (one-sided:
+  degrading more gracefully is fine; a costlier spill path is a
+  regression).
 
 Comparisons are scale-matched: a document whose ``scale`` differs from
 the baseline's is skipped with a warning rather than mis-compared.
@@ -43,6 +48,10 @@ _SIMPERF_RATIOS = ("rerate_work_reduction", "event_reduction")
 #: Absolute slack on chaos slowdowns (they are ratios around 1.5-2x and
 #: shift with any shuffle-timing change; only a clear regression fails).
 _FAULTS_TOLERANCE = 0.5
+
+#: Absolute slack on low-memory degradation slowdowns (ratios around
+#: 1-1.3x; shuffle-timing changes move them, only clear regressions fail).
+_SKEW_TOLERANCE = 0.4
 
 
 def _load(path: Path) -> dict:
@@ -95,7 +104,10 @@ def compare_simperf(name: str, fresh: dict, base: dict, tolerance: float) -> lis
     return problems
 
 
-def compare_faults(name: str, fresh: dict, base: dict) -> list[str]:
+def _compare_slowdowns(
+    name: str, fresh: dict, base: dict, tolerance: float, what: str
+) -> list[str]:
+    """One-sided per-engine slowdown gate shared by faults and skew."""
     problems = []
     want = base.get("slowdowns", {})
     got = fresh.get("slowdowns", {})
@@ -105,12 +117,20 @@ def compare_faults(name: str, fresh: dict, base: dict) -> list[str]:
         if engine not in got:
             problems.append(f"{name}: missing engine {engine}")
             continue
-        if got[engine] > slowdown + _FAULTS_TOLERANCE:
+        if got[engine] > slowdown + tolerance:
             problems.append(
-                f"{name}: {engine} chaos slowdown rose to {got[engine]:.2f}x "
-                f"from baseline {slowdown:.2f}x (tolerance {_FAULTS_TOLERANCE})"
+                f"{name}: {engine} {what} slowdown rose to {got[engine]:.2f}x "
+                f"from baseline {slowdown:.2f}x (tolerance {tolerance})"
             )
     return problems
+
+
+def compare_faults(name: str, fresh: dict, base: dict) -> list[str]:
+    return _compare_slowdowns(name, fresh, base, _FAULTS_TOLERANCE, "chaos")
+
+
+def compare_skew(name: str, fresh: dict, base: dict) -> list[str]:
+    return _compare_slowdowns(name, fresh, base, _SKEW_TOLERANCE, "low-memory")
 
 
 def check(
@@ -143,6 +163,8 @@ def check(
             problems += compare_simperf(name, fresh, base, tolerance)
         elif base.get("benchmark") == "faults":
             problems += compare_faults(name, fresh, base)
+        elif base.get("benchmark") == "skew":
+            problems += compare_skew(name, fresh, base)
         else:
             problems += compare_figure(name, fresh, base, tolerance)
         notes.append(f"{name}: compared at scale {base.get('scale')}")
@@ -157,7 +179,7 @@ def prune_baseline(doc: dict) -> dict:
     if doc.get("benchmark") == "simperf":
         keep = ("benchmark", "figure", "scale") + _SIMPERF_RATIOS
         return {key: doc[key] for key in keep if key in doc}
-    if doc.get("benchmark") == "faults":
+    if doc.get("benchmark") in ("faults", "skew"):
         keep = ("benchmark", "figure", "scale", "slowdowns")
         return {key: doc[key] for key in keep if key in doc}
     return {
