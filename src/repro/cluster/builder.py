@@ -47,6 +47,10 @@ class Cluster:
         #: fault plan runs on this cluster; None otherwise.  HDFS and the
         #: transports consult it for node/link liveness.
         self.faults = None
+        #: Integrity manager (repro.integrity.IntegrityManager) when a job
+        #: with checksums/corruption runs here; None otherwise.  HDFS
+        #: consults it for verify-on-read and replica preference.
+        self.integrity = None
 
     @property
     def n_nodes(self) -> int:

@@ -97,6 +97,10 @@ class _Entry:
     inserted_at: int = 0
     #: An explicit evict() arrived while pinned: complete it at unpin.
     evict_on_unpin: bool = False
+    #: Integrity digest of the cached copy (None when checksums are off).
+    #: May differ from the source artifact's digest when the load was
+    #: silently corrupted — verified at hit time, not insert time.
+    checksum: int | None = None
 
 
 class PrefetchCache:
@@ -140,6 +144,7 @@ class PrefetchCache:
         nbytes: float,
         priority: float = 0.0,
         payload: Any = None,
+        checksum: int | None = None,
     ) -> bool:
         """Cache a segment, evicting lower-value residents to make room.
 
@@ -160,6 +165,8 @@ class PrefetchCache:
             existing.priority = max(existing.priority, priority)
             self._clock += 1
             existing.last_access = self._clock
+            if checksum is not None:
+                existing.checksum = checksum
             return True
         if nbytes > self.capacity:
             self.stats.rejected += 1
@@ -169,11 +176,22 @@ class PrefetchCache:
             return False
         self._clock += 1
         self._entries[seg_id] = _Entry(
-            seg_id, nbytes, priority, self._clock, payload, inserted_at=self._clock
+            seg_id,
+            nbytes,
+            priority,
+            self._clock,
+            payload,
+            inserted_at=self._clock,
+            checksum=checksum,
         )
         self._used += nbytes
         self.stats.inserts += 1
         return True
+
+    def checksum_of(self, seg_id: Hashable) -> int | None:
+        """Stored digest of a cached segment (no recency side effects)."""
+        entry = self._entries.get(seg_id)
+        return None if entry is None else entry.checksum
 
     def lookup(self, seg_id: Hashable, nbytes_hint: float = 0.0) -> Any | None:
         """Fetch a segment.  A miss records demand for priority promotion.

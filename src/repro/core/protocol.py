@@ -62,6 +62,10 @@ class DataResponse:
     eof: bool
     #: Whether the bytes came from the PrefetchCache or from disk.
     from_cache: bool = False
+    #: Integrity digest of the payload (0 when checksums are off).  Rides
+    #: in the existing header: real IFile segments carry their CRC32 in
+    #: the stream, so the header size does not change.
+    checksum: int = 0
 
     def serialized_size(self) -> int:
         return 96
@@ -84,6 +88,21 @@ class MapOutputMeta:
     def segment(self, reduce_id: int) -> tuple[float, int]:
         """(bytes, pairs) destined for ``reduce_id``."""
         return self.partitions[reduce_id]
+
+    def segment_checksum(self, reduce_id: int) -> int:
+        """Expected digest of one segment of this output.
+
+        Fingerprinted over the fields that determine the segment's
+        content *and provenance* — a re-executed map's replacement output
+        on another host fingerprints differently, so a stale cached copy
+        of the old attempt fails verification.
+        """
+        from repro.integrity import fingerprint
+
+        nbytes, n_pairs = self.partitions[reduce_id]
+        return fingerprint(
+            "seg", self.job_id, self.map_id, reduce_id, self.host, nbytes, n_pairs
+        )
 
     @property
     def total_bytes(self) -> float:

@@ -21,8 +21,14 @@ Fault kinds
   a window (GC pause / overloaded DataEngine); requests are served after
   the window, not failed.
 * ``disk_error_rate`` — each provider-side segment read fails with this
-  probability (drawn from a named ``sim.rng`` stream, so runs stay
-  reproducible bit-for-bit).
+  probability (drawn from a per-node named ``sim.rng`` stream, so runs
+  stay reproducible bit-for-bit and faults are attributable to a disk).
+* :class:`DiskCorruption` / :class:`WireCorruption` /
+  :class:`SegmentFault` — *silent* data-plane corruption (flipped bits
+  on disk reads, write-time rot, per-packet wire corruption, truncated
+  or stale served segments).  Unlike the hard faults above these do not
+  fail the operation; they poison its result, and only the
+  :mod:`repro.integrity` checksum layer notices and recovers.
 
 Everything is deterministic: plan times are fixed simulation timestamps
 and the only randomness (disk errors) comes from the cluster's seeded
@@ -42,13 +48,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.rng import RandomStreams
 
 __all__ = [
+    "DiskCorruption",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
     "LinkFlap",
     "NodeCrash",
     "ResponderStall",
+    "SegmentFault",
+    "WireCorruption",
+    "seeded_corruption_plan",
     "seeded_fault_plan",
+    "standard_corruption_plan",
     "standard_fault_plan",
 ]
 
@@ -58,7 +69,11 @@ class FaultError(Exception):
 
     ``kind`` is one of ``"crash"`` (the serving node is dead), ``"link"``
     (a flap window covers one endpoint), ``"disk"`` (segment read error),
-    or ``"lost"`` (the requested map output was invalidated).
+    ``"lost"`` (the requested map output was invalidated),
+    ``"checksum"`` (transient verification mismatch; a retry re-reads),
+    ``"truncated"`` / ``"stale"`` (the responder served a short or
+    outdated segment), or ``"corrupt"`` (the canonical on-disk output is
+    rotten — retries cannot help, the map must be re-executed).
     """
 
     def __init__(self, kind: str, detail: str = ""):
@@ -93,6 +108,52 @@ class ResponderStall:
 
 
 @dataclass(frozen=True)
+class DiskCorruption:
+    """Silent data corruption on one node's local disks.
+
+    ``rate`` is the per-read probability that a segment read returns
+    flipped bits (transient: the on-disk copy is fine, a re-read draws
+    fresh).  ``rot_rate`` is the per-write probability that a committed
+    map output lands corrupted on the platter (persistent: every read
+    fails verification until the output is condemned and the map
+    re-executed).  ``disk`` scopes the entry to one local disk index on
+    the node (``-1`` = all disks).
+    """
+
+    node: str
+    rate: float
+    rot_rate: float = 0.0
+    disk: int = -1
+
+
+@dataclass(frozen=True)
+class WireCorruption:
+    """Per-packet corruption probability on one node's links.
+
+    Applies to every shuffle exchange with that node as either endpoint;
+    the receiver's verify-on-receive catches it and re-requests.
+    """
+
+    node: str
+    rate: float
+
+
+@dataclass(frozen=True)
+class SegmentFault:
+    """A responder on ``node`` serves a bad segment with probability ``rate``.
+
+    ``kind`` is ``"truncated"`` (short read: part of the segment is
+    missing) or ``"stale"`` (an outdated generation of the output was
+    served).  Both are transient from the fetcher's view: the retry path
+    re-requests and the next serve draws fresh.
+    """
+
+    node: str
+    rate: float
+    kind: str = "truncated"
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, hashable fault schedule (safe inside the frozen JobConf)."""
 
@@ -101,6 +162,10 @@ class FaultPlan:
     stalls: tuple[ResponderStall, ...] = ()
     #: Probability that one provider-side segment read fails.
     disk_error_rate: float = 0.0
+    #: Silent-corruption entries (verified and recovered by repro.integrity).
+    disk_corruptions: tuple[DiskCorruption, ...] = ()
+    wire_corruptions: tuple[WireCorruption, ...] = ()
+    segment_faults: tuple[SegmentFault, ...] = ()
     name: str = "plan"
 
     def __post_init__(self) -> None:
@@ -112,15 +177,50 @@ class FaultPlan:
         for window in (*self.flaps, *self.stalls):
             if window.duration <= 0:
                 raise ValueError(f"non-positive window duration: {window}")
+        for entry in (*self.disk_corruptions, *self.wire_corruptions, *self.segment_faults):
+            if not 0.0 <= entry.rate < 1.0:
+                raise ValueError(f"corruption rate {entry.rate} not in [0, 1): {entry}")
+        for disk in self.disk_corruptions:
+            if not 0.0 <= disk.rot_rate < 1.0:
+                raise ValueError(f"rot_rate {disk.rot_rate} not in [0, 1): {disk}")
+        for seg in self.segment_faults:
+            if seg.kind not in ("truncated", "stale"):
+                raise ValueError(f"unknown segment fault kind {seg.kind!r}")
 
     @property
     def empty(self) -> bool:
         return not (
-            self.crashes or self.flaps or self.stalls or self.disk_error_rate > 0
+            self.crashes
+            or self.flaps
+            or self.stalls
+            or self.disk_error_rate > 0
+            or self.has_corruption
+        )
+
+    @property
+    def has_corruption(self) -> bool:
+        return bool(
+            self.disk_corruptions or self.wire_corruptions or self.segment_faults
         )
 
     def nodes_referenced(self) -> set[str]:
-        return {f.node for f in (*self.crashes, *self.flaps, *self.stalls)}
+        """Every node any entry names — crashes, windows, *and* corruption.
+
+        ``FaultInjector`` validates this set against the cluster, so a
+        typo'd node in any entry kind fails fast instead of silently
+        never firing.
+        """
+        return {
+            f.node
+            for f in (
+                *self.crashes,
+                *self.flaps,
+                *self.stalls,
+                *self.disk_corruptions,
+                *self.wire_corruptions,
+                *self.segment_faults,
+            )
+        }
 
 
 def standard_fault_plan(
@@ -198,6 +298,79 @@ def seeded_fault_plan(
     )
 
 
+def standard_corruption_plan(
+    node_names: Sequence[str],
+    disk_rate: float = 0.15,
+    rot_rate: float = 0.2,
+    wire_rate: float = 0.015,
+    segment_rate: float = 0.05,
+    name: str = "corruption",
+) -> FaultPlan:
+    """The corruption-benchmark schedule: one hop of each kind goes bad.
+
+    The last node's disks flip bits on reads and rot a fraction of the
+    map outputs they commit (forcing condemnation + re-execution), the
+    first node's links corrupt packets in flight, and a middle node's
+    responders serve truncated/stale segments.  No crashes or flaps —
+    every byte of slowdown in ``BENCH_integrity`` is detection and
+    recovery, nothing else.
+    """
+    nodes = list(node_names)
+    if len(nodes) < 2:
+        raise ValueError("standard_corruption_plan needs >= 2 nodes")
+    middle = nodes[len(nodes) // 2]
+    return FaultPlan(
+        disk_corruptions=(
+            DiskCorruption(node=nodes[-1], rate=disk_rate, rot_rate=rot_rate),
+        ),
+        wire_corruptions=(WireCorruption(node=nodes[0], rate=wire_rate),),
+        segment_faults=(
+            SegmentFault(node=middle, rate=segment_rate, kind="truncated"),
+            SegmentFault(node=middle, rate=segment_rate / 2, kind="stale"),
+        ),
+        name=name,
+    )
+
+
+def seeded_corruption_plan(seed: int, node_names: Sequence[str]) -> FaultPlan:
+    """A randomized-but-reproducible corruption plan: same seed, same plan."""
+    import numpy as np
+
+    nodes = list(node_names)
+    if len(nodes) < 2:
+        raise ValueError("seeded_corruption_plan needs >= 2 nodes")
+    rng = np.random.default_rng(seed)
+    disks = tuple(
+        DiskCorruption(
+            node=nodes[int(rng.integers(0, len(nodes)))],
+            rate=float(rng.uniform(0.0, 0.3)),
+            rot_rate=float(rng.uniform(0.0, 0.25)) if rng.uniform() < 0.5 else 0.0,
+        )
+        for _ in range(int(rng.integers(0, 3)))
+    )
+    wires = tuple(
+        WireCorruption(
+            node=nodes[int(rng.integers(0, len(nodes)))],
+            rate=float(rng.uniform(0.0, 0.04)),
+        )
+        for _ in range(int(rng.integers(0, 3)))
+    )
+    segments = tuple(
+        SegmentFault(
+            node=nodes[int(rng.integers(0, len(nodes)))],
+            rate=float(rng.uniform(0.0, 0.1)),
+            kind="truncated" if rng.uniform() < 0.5 else "stale",
+        )
+        for _ in range(int(rng.integers(0, 3)))
+    )
+    return FaultPlan(
+        disk_corruptions=disks,
+        wire_corruptions=wires,
+        segment_faults=segments,
+        name=f"seeded-corruption-{seed}",
+    )
+
+
 class FaultInjector:
     """Runtime of one :class:`FaultPlan` on one cluster/job.
 
@@ -237,9 +410,12 @@ class FaultInjector:
             self._stall_windows.setdefault(stall.node, []).append(
                 (stall.at, stall.at + stall.duration)
             )
-        self._disk_rng = (
-            rng.stream("faults-disk") if plan.disk_error_rate > 0 else None
-        )
+        # Disk-error draws come from one named stream *per node* (created
+        # lazily): faults are attributable to the disk that threw them —
+        # the prerequisite for health scoring — and adding one node's
+        # serves never perturbs another node's draw sequence.
+        self._rng = rng
+        self._disk_rngs: dict[str, object] = {}
         self._crash_hooks: list[Callable[[str], None]] = []
         self._flap_hooks: list[Callable[[str], None]] = []
         self._started = False
@@ -323,11 +499,16 @@ class FaultInjector:
                 return e - now
         return 0.0
 
-    def disk_read_fails(self) -> bool:
-        """Draw one provider-side segment read against ``disk_error_rate``."""
-        if self._disk_rng is None:
+    def disk_read_fails(self, node: str) -> bool:
+        """Draw one provider-side segment read on ``node`` against
+        ``disk_error_rate`` (from that node's own seeded stream)."""
+        if self.plan.disk_error_rate <= 0:
             return False
-        if float(self._disk_rng.uniform()) < self.plan.disk_error_rate:
+        stream = self._disk_rngs.get(node)
+        if stream is None:
+            stream = self._rng.stream(f"faults-disk-{node}")
+            self._disk_rngs[node] = stream
+        if float(stream.uniform()) < self.plan.disk_error_rate:
             self.counters.add("disk_errors", 1)
             return True
         return False

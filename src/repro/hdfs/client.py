@@ -79,6 +79,15 @@ class DFSClient:
         """
         start = self.sim.now
         amount = block.nbytes if nbytes is None else min(nbytes, block.nbytes)
+        if self.cluster.integrity is not None:
+            # Verified read: same mechanics plus checksum-on-read with
+            # replica failover on mismatch (and quarantine-aware replica
+            # preference).  With nothing corrupting it is event-for-event
+            # the unverified path.
+            yield from self._read_block_verified(
+                reader, block, amount, stream_id, priority
+            )
+            return self.sim.now - start
         if block.is_local_to(reader.name):
             f = reader.fs.open(self._replica_name(block, reader.name))
             yield from reader.fs.read(f, amount, stream_id, priority)
@@ -109,6 +118,66 @@ class DFSClient:
             yield self.sim.all_of([disk, net])
             self.bytes_read_remote += amount
         return self.sim.now - start
+
+    def _read_block_verified(
+        self,
+        reader: Node,
+        block: Block,
+        amount: float,
+        stream_id: str,
+        priority: float,
+    ) -> Generator[Event, Any, None]:
+        """One block read with verify-on-read and replica failover.
+
+        Candidate order: the reader's own replica first (short-circuit),
+        then the block's other locations — dead DataNodes skipped,
+        quarantined ones deprioritised.  A checksum mismatch moves to the
+        next candidate (a lone replica is simply re-read); each failed
+        attempt paid for its full read, like a real re-fetch.
+        """
+        integ = self.cluster.integrity
+        faults = self.cluster.faults
+        candidates: list[str] = []
+        if block.is_local_to(reader.name):
+            candidates.append(reader.name)
+        for loc in block.locations:
+            if loc not in candidates:
+                candidates.append(loc)
+        live = [
+            c for c in candidates if faults is None or not faults.node_dead(c)
+        ]
+        if live:
+            candidates = live
+        preferred = [c for c in candidates if not integ.quarantined(c)]
+        if preferred:
+            candidates = preferred
+        attempt = 0
+        while True:
+            owner_name = candidates[attempt % len(candidates)]
+            if owner_name == reader.name:
+                f = reader.fs.open(self._replica_name(block, reader.name))
+                yield from reader.fs.read(f, amount, stream_id, priority)
+                self.bytes_read_local += amount
+            else:
+                owner = self.cluster.node(owner_name)
+                f = owner.fs.open(self._replica_name(block, owner.name))
+                disk = self.sim.process(
+                    owner.fs.read(f, amount, stream_id, priority),
+                    name=f"hdfs-read:{block.block_id}",
+                )
+                net = self.sim.process(
+                    self.cluster.fabric.send(owner, reader, amount),
+                    name=f"hdfs-xfer:{block.block_id}",
+                )
+                yield self.sim.all_of([disk, net])
+                self.bytes_read_remote += amount
+            if not integ.hdfs_read_corrupted(owner_name, block.block_id, amount):
+                return
+            if len(candidates) > 1:
+                integ.note_replica_failover()
+            else:
+                integ.note_reread()
+            attempt += 1
 
     # -- write path -------------------------------------------------------
 

@@ -27,6 +27,10 @@ class NameNode:
         self.rng = rng
         self._files: dict[str, list[Block]] = {}
         self._rr = 0
+        #: Optional ``fn(node_name) -> bool`` marking nodes to exclude
+        #: from replica placement (repro.integrity quarantine).  None
+        #: keeps placement draws byte-identical to a build without it.
+        self.health_filter = None
 
     # -- namespace ------------------------------------------------------
 
@@ -57,6 +61,12 @@ class NameNode:
         locations = [first]
         if replication > 1:
             others = [d for d in self.datanodes if d != first]
+            if self.health_filter is not None:
+                # Prefer non-quarantined targets, but never under-replicate:
+                # fall back to the full set when too few healthy nodes remain.
+                healthy = [d for d in others if not self.health_filter(d)]
+                if len(healthy) >= replication - 1:
+                    others = healthy
             picks = self.rng.choice(len(others), size=replication - 1, replace=False)
             locations.extend(others[i] for i in picks)
         return tuple(locations)

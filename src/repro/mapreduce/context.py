@@ -146,10 +146,36 @@ class JobContext:
         self.fetch_failure_handler = None
         #: Structured phase tracing (repro.obs): spans from tasks/engines.
         self.tracer = PhaseTracer(enabled=conf.phase_tracing)
+        #: End-to-end checksum verification + corruption recovery +
+        #: quarantine (repro.integrity); None unless integrity_checksums
+        #: is on or the fault plan carries corruption entries.  Same
+        #: contract as ``faults``: every hook is behind an
+        #: ``is not None`` check, the idle path is untouched.
+        self.integrity = None
+        if conf.integrity_active:
+            from repro.integrity import IntegrityManager
+
+            self.integrity = IntegrityManager(
+                self.sim,
+                cluster.rng,
+                conf.fault_plan,
+                [n.name for n in cluster.nodes],
+                ewma_alpha=conf.integrity_ewma_alpha,
+                quarantine_threshold=conf.quarantine_threshold,
+                quarantine_min_failures=conf.quarantine_min_failures,
+                tracer=self.tracer,
+            )
+            #: Quarantined nodes drop out of NameNode replica placement.
+            self.namenode.health_filter = self.integrity.quarantined
+        cluster.integrity = self.integrity
         #: Federated metrics tree; actors register their collectors here
         #: (job counters now, cache stats and disks as they come up).
         self.metrics = MetricsRegistry()
         self.metrics.register("job", self.counters)
+        if self.integrity is not None:
+            # integrity.* appears only when the layer is active (no new
+            # keys on knob-free BENCH exports).
+            self.metrics.register("integrity", self.integrity)
         if self.faults is not None:
             # faults.* and ucr.* appear in the metrics tree only when a
             # plan is active (no new keys on fault-free BENCH exports).

@@ -156,6 +156,25 @@ class JobConf:
     #: (``ucr.net.*``) and per-fetch ``net-wait`` spans on the reducers.
     ucr_tracing: bool = False
 
+    # -- data integrity (checksums, corruption recovery, quarantine) --------------
+    # Same inert-by-default contract: with integrity_checksums off and no
+    # corruption entries in fault_plan, the repro.integrity manager is
+    # never created and runs stay event-for-event identical.  With
+    # checksums on but nothing corrupting, verification is free in
+    # simulated time: integrity.* counters move, timing does not.
+    #
+    #: Verify checksums on every read/receive hop (disk, cache, HDFS,
+    #: transport).  Forced on whenever the fault plan carries corruption.
+    integrity_checksums: bool = False
+    #: EWMA weight of one checksum failure in a node's health score.
+    integrity_ewma_alpha: float = 0.25
+    #: Health score at (or above) which a node is quarantined: excluded
+    #: from replica preference and new task placement, cache dropped.
+    quarantine_threshold: float = 0.6
+    #: Minimum checksum failures before quarantine can trigger (so one
+    #: unlucky flip on a healthy disk never quarantines a node).
+    quarantine_min_failures: int = 4
+
     # -- costs -------------------------------------------------------------------
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -180,6 +199,25 @@ class JobConf:
             raise ValueError("responder_queue_limit must be >= 0")
         if self.partition_skew < 0:
             raise ValueError("partition_skew must be >= 0")
+        if not 0.0 < self.integrity_ewma_alpha <= 1.0:
+            raise ValueError(
+                f"integrity_ewma_alpha must be in (0, 1], "
+                f"got {self.integrity_ewma_alpha}"
+            )
+        if not 0.0 < self.quarantine_threshold <= 1.0:
+            raise ValueError(
+                f"quarantine_threshold must be in (0, 1], "
+                f"got {self.quarantine_threshold}"
+            )
+        if self.quarantine_min_failures < 1:
+            raise ValueError("quarantine_min_failures must be >= 1")
+
+    @property
+    def integrity_active(self) -> bool:
+        """Whether the integrity layer runs: checksums on, or corruption planned."""
+        return self.integrity_checksums or (
+            self.fault_plan is not None and self.fault_plan.has_corruption
+        )
 
     @property
     def backpressure_active(self) -> bool:

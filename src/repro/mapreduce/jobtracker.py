@@ -16,7 +16,11 @@ from typing import Any
 from repro.hdfs.block import Block
 from repro.mapreduce.context import JobContext
 from repro.mapreduce.job import JobResult
-from repro.mapreduce.maptask import TaskFailure, run_map_task
+from repro.mapreduce.maptask import (
+    TaskFailure,
+    map_output_file_name,
+    run_map_task,
+)
 from repro.mapreduce.shuffle.base import engine_by_name
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.sim.core import Event
@@ -76,6 +80,16 @@ class JobTracker:
             ctx.fetch_failure_handler = self.report_fetch_failure
             ctx.faults.on_crash(self._on_node_crash)
 
+        if ctx.integrity is not None:
+            # A quarantined TaskTracker sheds engine state whose integrity
+            # is now suspect (the OSU-IB PrefetchCache drops everything).
+            def _shed(node_name: str) -> None:
+                quarantined = ctx.trackers.get(node_name)
+                if quarantined is not None and quarantined.provider is not None:
+                    quarantined.provider.on_quarantine()
+
+            ctx.integrity.on_quarantine(_shed)
+
         # Job setup (setup task, InputFormat split computation, ...).
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
         start_time = self.sim.now
@@ -133,6 +147,11 @@ class JobTracker:
             counters["ucr.downgrades"] = float(ctx.ucr.downgrades)
             for key, value in ctx.faults.counters.as_dict().items():
                 counters[f"faults.{key}"] = value
+        if ctx.integrity is not None:
+            # Full integrity tally (key set pre-seeded, so corruption-free
+            # verified runs export the same keys as corrupted ones).
+            for key, value in ctx.integrity.counters.as_dict().items():
+                counters[f"integrity.{key}"] = value
         if conf.backpressure_active:
             # Stable backpressure/spill key set when any flow-control knob
             # is on (0 = the pressure never materialised); absent on
@@ -169,6 +188,10 @@ class JobTracker:
 
         from repro.obs.phases import overlap_report
 
+        phase_report = overlap_report(ctx.tracer.spans)
+        if ctx.integrity is not None:
+            phase_report["integrity"] = ctx.integrity.report()
+
         return JobResult(
             conf=conf,
             transport=ctx.cluster.spec.transport.name,
@@ -190,7 +213,7 @@ class JobTracker:
             task_spans=list(ctx.spans),
             metrics=ctx.metrics.collect(),
             phase_spans=list(ctx.tracer.spans),
-            phase_report=overlap_report(ctx.tracer.spans),
+            phase_report=phase_report,
         )
 
     # -- map scheduling ----------------------------------------------------------
@@ -320,6 +343,10 @@ class JobTracker:
             return
         ctx.counters.add("map.lost_outputs", 1)
         del ctx.map_outputs[map_id]
+        if ctx.integrity is not None:
+            # Re-execution is the recovery for a rotten on-disk output:
+            # settle every open detection against the condemned artifact.
+            ctx.integrity.note_condemned(cur.host, map_output_file_name(map_id))
         old_tt = ctx.trackers.get(cur.host)
         if old_tt is not None:
             old_tt.invalidate_map_output(map_id)
@@ -383,6 +410,11 @@ class JobTracker:
         ]
         if not healthy:
             raise RuntimeError("no healthy TaskTrackers left to re-execute on")
+        if ctx.integrity is not None:
+            # Prefer non-quarantined trackers (re-running a condemned map
+            # on the disk that rotted it would just rot it again).
+            fit = [tt for tt in healthy if not ctx.integrity.quarantined(tt.name)]
+            healthy = fit or healthy
         local = [tt for tt in healthy if block.is_local_to(tt.name)]
         pool = local or healthy
         return min(pool, key=lambda t: (t.map_slots.count, t.name))
@@ -613,6 +645,9 @@ class JobTracker:
         ]
         if not healthy:
             raise RuntimeError("no healthy TaskTrackers left for reducers")
+        if ctx.integrity is not None:
+            fit = [tt for tt in healthy if not ctx.integrity.quarantined(tt.name)]
+            healthy = fit or healthy
         return min(
             healthy,
             key=lambda t: (t.reduce_slots.count + t.reduce_slots.queue_len, t.name),

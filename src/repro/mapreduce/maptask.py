@@ -171,6 +171,10 @@ def run_map_task(
             node.fs.delete(map_output_file_name(map_id))
         raise
 
+    if ctx.integrity is not None:
+        # Stamp the committed output with its digest; the write itself may
+        # rot it (silent, discovered only by a later verified read).
+        ctx.integrity.stamp_artifact(node.name, final)
     meta = MapOutputMeta(
         job_id=conf.job_id,
         map_id=map_id,

@@ -125,6 +125,12 @@ class ShuffleProvider:
         roughly ``nbytes`` of low-priority state here.  Default: no-op.
         """
 
+    def on_quarantine(self) -> None:
+        """Hook invoked when this tracker lands on the integrity quarantine
+        list (repeated checksum failures).  Engines drop speculative state
+        whose integrity is now suspect (cached segments).  Default: no-op.
+        """
+
 
 class ShuffleConsumer:
     """ReduceTask-side shuffle + merge + reduce pipeline (one per reducer)."""

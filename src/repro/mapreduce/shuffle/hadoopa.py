@@ -72,6 +72,13 @@ class HadoopAConsumer(StreamingConsumer):
     def buffer_waves(self) -> float:
         return 1.0  # no read-ahead beyond the head packet (pull model)
 
+    def packets_in(self, nbytes: float) -> float:
+        # Fixed pairs per packet: the wire exposure of an exchange scales
+        # with the expected packet size, not the RDMA-tuned one.
+        model = self.ctx.conf.record_model
+        packet = self.ctx.conf.hadoopa_pairs_per_packet * model.avg_pair_bytes
+        return max(1.0, -(-nbytes // max(1.0, packet)))
+
     def merge_gate_open(self) -> bool:
         """Merge begins when all runs are known and staging has finished."""
         return (

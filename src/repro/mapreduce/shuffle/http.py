@@ -115,6 +115,18 @@ class HttpShuffleProvider(ShuffleProvider):
         self.bytes_served += seg_bytes
         self.ctx.counters.add("shuffle.bytes", seg_bytes)
         self.ctx.counters.add("shuffle.tt_disk_read_bytes", seg_bytes)
+        integ = self.ctx.integrity
+        if integ is not None:
+            # Verify-on-read of the servlet's disk stream (the 0.20.2
+            # IFile checksum).  The bytes already crossed the wire — a
+            # mismatch wastes the transfer, exactly like the real thing.
+            status = integ.check_segment_read(self.tt.name, file, seg_bytes)
+            if status != "ok":
+                from repro.faults import FaultError
+
+                if status == "persistent":
+                    raise FaultError("corrupt", f"map {map_id} on-disk output")
+                raise FaultError("checksum", f"map {map_id} segment read")
         return seg_bytes
 
     def _fault_gate(
@@ -133,7 +145,15 @@ class HttpShuffleProvider(ShuffleProvider):
             raise FaultError("link", f"{self.tt.name}<->{requester_node.name}")
         if map_id not in self.tt.map_outputs:
             raise FaultError("lost", f"map {map_id}")
-        if faults.disk_read_fails():
+        integ = self.ctx.integrity
+        if integ is not None:
+            _meta, file = self.tt.map_outputs[map_id]
+            kind = integ.segment_serve_fault(self.tt.name, file.name)
+            if kind is not None:
+                raise FaultError(kind, f"map {map_id} segment")
+        if faults.disk_read_fails(self.tt.name):
+            if integ is not None:
+                integ.note_disk_error(self.tt.name)
             raise FaultError("disk", f"map {map_id} spill read")
 
 
@@ -319,7 +339,14 @@ class HttpShuffleConsumer(ShuffleConsumer):
                 got = yield from provider.serve(
                     self.node, meta.map_id, self.reduce_id
                 )
-            except FaultError:
+            except FaultError as exc:
+                if exc.kind == "corrupt":
+                    # Rotten on-disk output: retrying re-reads the same bad
+                    # bytes.  Report for condemnation and park for the
+                    # re-executed map's replacement.
+                    meta = yield from self._await_replacement(meta)
+                    failures = 0
+                    continue
                 t0 = ctx.sim.now
                 failures += 1
                 delay = self._fetch_backoff(host)
@@ -331,6 +358,20 @@ class HttpShuffleConsumer(ShuffleConsumer):
                 ctx.tracer.record(
                     f"reduce-{self.reduce_id}", "retry", t0, ctx.sim.now, 0.0
                 )
+                continue
+            if (
+                ctx.integrity is not None
+                and got > 0
+                and ctx.integrity.wire_corrupted(
+                    host,
+                    self.node.name,
+                    max(1.0, -(-got // 65536)),
+                    (meta.map_id, self.reduce_id),
+                )
+            ):
+                # Verify-on-receive failed: re-request the whole segment
+                # (the HTTP copier has no partial-fetch resume).
+                ctx.integrity.note_refetch()
                 continue
             self._note_fetch_success(host)
             return got

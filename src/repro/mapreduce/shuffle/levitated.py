@@ -145,6 +145,10 @@ class QueueingProvider(ShuffleProvider):
                 done.succeed(0.0)
                 continue
             cached = yield from self.fetch_payload(req, meta, file, take)
+            if ctx.integrity is not None and not cached:
+                # Checksums on, nothing corrupting (corruption implies the
+                # faulted path): verify-on-read always passes, counters move.
+                ctx.integrity.check_segment_read(self.tt.name, file, take)
             # Message accounting from the engine's packet plan.
             model = ctx.conf.record_model
             pairs = max(1, int(round(take / model.avg_pair_bytes)))
@@ -197,10 +201,35 @@ class QueueingProvider(ShuffleProvider):
         if take <= 0:
             done.succeed(0.0)
             return
-        if faults.disk_read_fails():
+        integ = ctx.integrity
+        if integ is not None:
+            kind = integ.segment_serve_fault(self.tt.name, file.name)
+            if kind is not None:
+                done.fail(FaultError(kind, f"map {req.map_id} segment")).defuse()
+                return
+        if faults.disk_read_fails(self.tt.name):
+            if integ is not None:
+                integ.note_disk_error(self.tt.name)
             done.fail(FaultError("disk", f"map {req.map_id} spill read")).defuse()
             return
         cached = yield from self.fetch_payload(req, meta, file, take)
+        if integ is not None:
+            if cached:
+                integ.settle_serve(self.tt.name, file.name)
+            else:
+                status = integ.check_segment_read(self.tt.name, file, take)
+                if status == "persistent":
+                    # The canonical on-disk output is rotten: no retry can
+                    # help, the consumer reports it for condemnation.
+                    done.fail(
+                        FaultError("corrupt", f"map {req.map_id} on-disk output")
+                    ).defuse()
+                    return
+                if status == "transient":
+                    done.fail(
+                        FaultError("checksum", f"map {req.map_id} segment read")
+                    ).defuse()
+                    return
         model = ctx.conf.record_model
         pairs = max(1, int(round(take / model.avg_pair_bytes)))
         plan = self.packetizer().plan(
@@ -329,6 +358,11 @@ class StreamingConsumer(ShuffleConsumer):
     def buffer_waves(self) -> float:
         """Read-ahead depth per run, in waves (1 = no double buffering)."""
         raise NotImplementedError
+
+    def packets_in(self, nbytes: float) -> float:
+        """Packets one exchange of ``nbytes`` rides in (integrity's wire
+        model: per-packet corruption compounds over the exchange)."""
+        return max(1.0, -(-nbytes // self.ctx.conf.rdma_packet_bytes))
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -748,7 +782,16 @@ class StreamingConsumer(ShuffleConsumer):
                 continue  # re-check: the host may have been replaced
             try:
                 got = yield from self._request_once(state, nbytes)
-            except FaultError:
+            except FaultError as exc:
+                if exc.kind == "corrupt":
+                    # The on-disk output itself is rotten: retrying reads
+                    # the same bad bytes.  Report immediately — recovery
+                    # is condemnation + map re-execution.
+                    if not state.lost:
+                        state.lost = True
+                        ctx.counters.add("shuffle.retry.reports", 1)
+                        ctx.report_fetch_failure(state.meta)
+                    return 0.0
                 t0 = ctx.sim.now
                 state.failures += 1
                 delay = self._fetch_backoff(host)
@@ -780,22 +823,38 @@ class StreamingConsumer(ShuffleConsumer):
             while fate.uniform() < ctx.conf.fetch_failure_rate:
                 ctx.counters.add("shuffle.fetch_retries", 1)
                 yield ctx.sim.timeout(ctx.conf.fetch_retry_delay)
-        state.seqno += 1
-        req = DataRequest(
-            job_id=ctx.conf.job_id,
-            map_id=state.meta.map_id,
-            reduce_id=self.reduce_id,
-            offset=state.offset,
-            max_bytes=nbytes,
-            seqno=state.seqno,
-        )
         t0 = ctx.sim.now
-        yield from ctx.ucr.endpoint(self.node, tt_node).send(req.serialized_size())
-        done = Event(ctx.sim)
-        provider = ctx.trackers[state.meta.host].provider
-        assert isinstance(provider, QueueingProvider)
-        provider.submit(req, done, self.node)
-        got = yield done
+        integ = ctx.integrity
+        while True:
+            state.seqno += 1
+            req = DataRequest(
+                job_id=ctx.conf.job_id,
+                map_id=state.meta.map_id,
+                reduce_id=self.reduce_id,
+                offset=state.offset,
+                max_bytes=nbytes,
+                seqno=state.seqno,
+            )
+            yield from ctx.ucr.endpoint(self.node, tt_node).send(req.serialized_size())
+            done = Event(ctx.sim)
+            provider = ctx.trackers[state.meta.host].provider
+            assert isinstance(provider, QueueingProvider)
+            provider.submit(req, done, self.node)
+            got = yield done
+            if (
+                integ is None
+                or got <= 0
+                or not integ.wire_corrupted(
+                    state.meta.host,
+                    self.node.name,
+                    self.packets_in(got),
+                    (state.meta.map_id, self.reduce_id),
+                )
+            ):
+                break
+            # Verify-on-receive failed: the exchange arrived corrupted.
+            # Re-request the same range from the source TaskTracker.
+            integ.note_refetch()
         if ctx.conf.ucr_tracing:
             # Pure network/service wait for this exchange, distinct from
             # the "shuffle" span (which includes admission + bookkeeping):
@@ -870,6 +929,18 @@ class StreamingConsumer(ShuffleConsumer):
                 wave,
                 stream_id=f"restore-r{self.reduce_id}-m{state.meta.map_id}",
             )
+            if self.ctx.integrity is not None:
+                # Verify-on-read for staged shuffle data on our own disks;
+                # a flipped wave is simply re-read (transient by model).
+                while self.ctx.integrity.local_read_flipped(
+                    self.node.name, state.staged_file, wave
+                ):
+                    self.ctx.integrity.note_reread()
+                    yield from self.node.fs.read(
+                        state.staged_file,
+                        wave,
+                        stream_id=f"restore-r{self.reduce_id}-m{state.meta.map_id}",
+                    )
             state.restore_offset += wave
             self.vm.feed(state.meta.map_id, wave)
         finally:

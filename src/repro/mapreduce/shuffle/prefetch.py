@@ -117,7 +117,19 @@ class MapOutputPrefetcher:
                     # Demand-loaded segments carry the promotion recorded by
                     # cache.demand()/the earlier miss; fresh outputs insert
                     # at base priority.
-                    inserted = self.cache.insert(seg_id, seg_bytes)
+                    checksum = None
+                    integ = self.ctx.integrity
+                    if integ is not None:
+                        # The cached copy's digest: normally the segment's
+                        # expected fingerprint — unless this load silently
+                        # corrupted it, leaving a poisoned entry that only
+                        # fails at verify-on-hit.
+                        checksum = job.meta.segment_checksum(reduce_id)
+                        if integ.cache_load_corrupted(self.tt.name):
+                            from repro.integrity import CORRUPTION_MASK
+
+                            checksum ^= CORRUPTION_MASK
+                    inserted = self.cache.insert(seg_id, seg_bytes, checksum=checksum)
                 finally:
                     self._loading.discard(seg_id)
                 if inserted:

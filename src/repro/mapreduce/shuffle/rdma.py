@@ -72,7 +72,26 @@ class RdmaShuffleProvider(QueueingProvider):
         self, req: DataRequest, meta: MapOutputMeta, file: Any, take: float
     ) -> Generator[Event, Any, bool]:
         seg_id = (req.map_id, req.reduce_id)
-        if self.prefetcher is not None and self.cache.hit(seg_id, take):
+        integ = self.ctx.integrity
+        poisoned = False
+        if integ is not None and self.prefetcher is not None and seg_id in self.cache:
+            # Verify the cached copy *before* trusting the hit: a load that
+            # was silently corrupted sits here with a bad digest.
+            poisoned = integ.check_cache_hit(
+                self.tt.name,
+                seg_id,
+                self.cache.checksum_of(seg_id),
+                meta.segment_checksum(req.reduce_id),
+            )
+            if poisoned:
+                # Recover: invalidate the poisoned entry and fall through
+                # to the authoritative on-disk copy.
+                self.cache.evict(seg_id)
+        if (
+            not poisoned
+            and self.prefetcher is not None
+            and self.cache.hit(seg_id, take)
+        ):
             # Pin for the duration of the send: eviction (explicit or by
             # pressure) must not drop the segment mid-stream.  Released in
             # :meth:`after_serve`.
@@ -89,6 +108,10 @@ class RdmaShuffleProvider(QueueingProvider):
             priority=0.0,
         )
         self.ctx.counters.add("shuffle.tt_disk_read_bytes", take)
+        if poisoned:
+            # The disk re-read completing is the recovery for the poisoned
+            # cache entry (its own disk verification is the caller's job).
+            integ.settle_cache_recovery(self.tt.name, seg_id)
         if self.prefetcher is not None:
             self.ctx.counters.add("cache.misses", 1)
             self.ctx.counters.add("cache.miss_bytes", take)
@@ -108,6 +131,19 @@ class RdmaShuffleProvider(QueueingProvider):
             return
         for reduce_id in range(self.ctx.conf.n_reduces):
             self.cache.evict((meta.map_id, reduce_id))
+
+    def on_quarantine(self) -> None:
+        """This tracker crossed the integrity failure threshold.
+
+        Its cached segments are no longer trusted speculatively: drop all
+        unpinned entries (in-flight sends finish; fresh demand re-reads
+        disk, where every serve is verified).
+        """
+        if self.prefetcher is None:
+            return
+        freed = self.cache.shed(self.cache.used_bytes)
+        if freed > 0:
+            self.ctx.counters.add("cache.quarantine_dropped_bytes", freed)
 
     def on_memory_pressure(self, nbytes: float) -> None:
         """A co-located reducer spilled: shed low-priority cached segments.

@@ -29,15 +29,23 @@ DEFAULT_CHUNK = 4 * 1024 * 1024
 
 
 class LocalFile:
-    """A file resident on exactly one local drive."""
+    """A file resident on exactly one local drive.
 
-    __slots__ = ("name", "disk", "size", "deleted")
+    ``checksum`` is the integrity layer's stored digest (None until the
+    artifact is stamped); ``rotten`` marks write-time corruption — the
+    stored digest no longer matches the content, so every verified read
+    fails until the artifact is condemned and regenerated.
+    """
+
+    __slots__ = ("name", "disk", "size", "deleted", "checksum", "rotten")
 
     def __init__(self, name: str, disk: DiskDevice):
         self.name = name
         self.disk = disk
         self.size = 0.0
         self.deleted = False
+        self.checksum: int | None = None
+        self.rotten = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<LocalFile {self.name} {self.size/1e6:.1f} MB on {self.disk.name}>"

@@ -22,6 +22,10 @@ committed under ``benchmarks/baselines/``:
   not exceed the baseline by more than ``_SKEW_TOLERANCE`` (one-sided:
   degrading more gracefully is fine; a costlier spill path is a
   regression).
+* **integrity** — each engine's corruption slowdown (TeraSort under the
+  standard silent-corruption plan vs clean) must not exceed the baseline
+  by more than ``_INTEGRITY_TOLERANCE`` (one-sided: cheaper detection /
+  recovery is fine; a costlier verify-and-recover path is a regression).
 
 Comparisons are scale-matched: a document whose ``scale`` differs from
 the baseline's is skipped with a warning rather than mis-compared.
@@ -52,6 +56,10 @@ _FAULTS_TOLERANCE = 0.5
 #: Absolute slack on low-memory degradation slowdowns (ratios around
 #: 1-1.3x; shuffle-timing changes move them, only clear regressions fail).
 _SKEW_TOLERANCE = 0.4
+
+#: Absolute slack on corruption-recovery slowdowns (ratios around 1-1.5x;
+#: re-fetch / re-execution cost moves with any shuffle-timing change).
+_INTEGRITY_TOLERANCE = 0.3
 
 
 def _load(path: Path) -> dict:
@@ -133,6 +141,10 @@ def compare_skew(name: str, fresh: dict, base: dict) -> list[str]:
     return _compare_slowdowns(name, fresh, base, _SKEW_TOLERANCE, "low-memory")
 
 
+def compare_integrity(name: str, fresh: dict, base: dict) -> list[str]:
+    return _compare_slowdowns(name, fresh, base, _INTEGRITY_TOLERANCE, "corruption")
+
+
 def check(
     bench_dir: str | os.PathLike[str],
     baseline_dir: str | os.PathLike[str],
@@ -165,6 +177,8 @@ def check(
             problems += compare_faults(name, fresh, base)
         elif base.get("benchmark") == "skew":
             problems += compare_skew(name, fresh, base)
+        elif base.get("benchmark") == "integrity":
+            problems += compare_integrity(name, fresh, base)
         else:
             problems += compare_figure(name, fresh, base, tolerance)
         notes.append(f"{name}: compared at scale {base.get('scale')}")
@@ -179,7 +193,7 @@ def prune_baseline(doc: dict) -> dict:
     if doc.get("benchmark") == "simperf":
         keep = ("benchmark", "figure", "scale") + _SIMPERF_RATIOS
         return {key: doc[key] for key in keep if key in doc}
-    if doc.get("benchmark") in ("faults", "skew"):
+    if doc.get("benchmark") in ("faults", "skew", "integrity"):
         keep = ("benchmark", "figure", "scale", "slowdowns")
         return {key: doc[key] for key in keep if key in doc}
     return {
