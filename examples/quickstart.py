@@ -224,7 +224,7 @@ def integrity_demo() -> None:
         f"({corrupted.execution_time / clean.execution_time:.2f}x); output bytes "
         f"{'match' if same else 'DIFFER'}; detected "
         f"{report['detected']:.0f} == recovered {report['recovered']:.0f}; "
-        f"quarantined {report['quarantined'] or 'nobody'}"
+        f"quarantined {report.get('quarantined') or 'nobody'}"
     )
     tree: dict[str, dict[str, float]] = {}
     for key, value in corrupted.counters.items():

@@ -88,6 +88,7 @@ COUNTER_KEYS = (
     "cache_invalidations",
     "condemned",
     "quarantined_trackers",
+    "quarantine.fallback",
 )
 
 
@@ -274,6 +275,55 @@ class IntegrityManager:
     def quarantined(self, node: str) -> bool:
         return node in self.quarantine
 
+    def health_score(self, node: str) -> float:
+        """Current EWMA failure score for ``node`` (0.0 = spotless)."""
+        h = self._health.get(node)
+        return h.score if h is not None else 0.0
+
+    def note_quarantine_fallback(self, node: str) -> None:
+        """Placement had no non-quarantined tracker and fell back to
+        ``node`` (the least-degraded of the quarantined).  Previously this
+        happened silently in arbitrary order; now bench reports can see
+        how often the job was forced onto suspect hardware.
+        """
+        self.counters.add("quarantine.fallback", 1)
+        if self._tracer is not None:
+            now = self.sim.now
+            self._tracer.record(
+                f"integrity-{node}", "integrity-quarantine-fallback", now, now
+            )
+
+    def note_migrated(self, node: str, reduce_id: int) -> None:
+        """A reduce attempt was migrated off quarantined ``node``.
+
+        The abandoned attempt's partially fetched state is refetched from
+        scratch by the relaunch (partitioning is deterministic, so the
+        replacement bytes are identical); settle its open detections —
+        in-flight wire exchanges destined for this reducer and the staged
+        spill files it wrote on ``node`` — so the ledger's
+        detected == recovered invariant survives the kill.
+        """
+        prefix = f"staged/r{reduce_id}a"
+        settled = 0
+        for key in list(self._pending):
+            kind = key[0]
+            if (
+                kind == "wire"
+                and key[1] == node
+                and isinstance(key[2], tuple)
+                and len(key[2]) == 2
+                and key[2][1] == reduce_id
+            ):
+                settled += self._pending.pop(key)
+            elif (
+                kind == "disk"
+                and key[1] == node
+                and str(key[2]).startswith(prefix)
+            ):
+                settled += self._pending.pop(key)
+        if settled:
+            self.counters.add("recovered", settled)
+
     def prefer_healthy(self, names: list) -> list:
         """Subset of ``names`` outside quarantine — or all, if none qualify."""
         ok = [n for n in names if n not in self.quarantine]
@@ -457,14 +507,22 @@ class IntegrityManager:
         return out
 
     def report(self) -> dict:
-        """Phase-report section: ledger totals, scores, quarantine list."""
-        return {
+        """Phase-report section: ledger totals, scores, quarantine list.
+
+        ``scores`` and ``quarantined`` appear only when non-empty — a
+        checksums-only run with nothing corrupting reports the ledger
+        totals without empty placeholder rows.
+        """
+        out = {
             "detected": self.counters.get("detected"),
             "recovered": self.counters.get("recovered"),
             "pending": float(self.pending_detections),
-            "scores": {n: h.score for n, h in sorted(self._health.items())},
-            "quarantined": sorted(self.quarantine),
         }
+        if self._health:
+            out["scores"] = {n: h.score for n, h in sorted(self._health.items())}
+        if self.quarantine:
+            out["quarantined"] = sorted(self.quarantine)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

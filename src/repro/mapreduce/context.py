@@ -168,6 +168,15 @@ class JobContext:
             #: Quarantined nodes drop out of NameNode replica placement.
             self.namenode.health_filter = self.integrity.quarantined
         cluster.integrity = self.integrity
+        #: Closed-loop shuffle control plane (repro.control); None unless
+        #: control_interval is set.  Same contract as ``faults`` and
+        #: ``integrity``: every hook is behind an ``is not None`` check,
+        #: knob-free runs stay event-for-event identical.
+        self.control = None
+        if conf.control_active:
+            from repro.control import ControlPlane
+
+            self.control = ControlPlane(self)
         #: Federated metrics tree; actors register their collectors here
         #: (job counters now, cache stats and disks as they come up).
         self.metrics = MetricsRegistry()
@@ -176,6 +185,9 @@ class JobContext:
             # integrity.* appears only when the layer is active (no new
             # keys on knob-free BENCH exports).
             self.metrics.register("integrity", self.integrity)
+        if self.control is not None:
+            # control.* appears only when the controller is armed.
+            self.metrics.register("control", self.control.metrics_snapshot)
         if self.faults is not None:
             # faults.* and ucr.* appear in the metrics tree only when a
             # plan is active (no new keys on fault-free BENCH exports).

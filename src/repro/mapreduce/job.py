@@ -156,6 +156,33 @@ class JobConf:
     #: (``ucr.net.*``) and per-fetch ``net-wait`` spans on the reducers.
     ucr_tracing: bool = False
 
+    # -- closed-loop shuffle control plane (repro.control) -------------------------
+    # Same inert-by-default contract as the blocks above: with
+    # control_interval at its zero default the controller process is never
+    # created, no control.* counters appear, and runs stay event-for-event
+    # identical to a build without this subsystem.
+    #
+    #: Seconds between controller ticks; 0 disables the control plane.
+    control_interval: float = 0.0
+    #: Bounds for mid-job ``recv_credits`` retuning.  The controller only
+    #: adjusts a gate that exists (``recv_credits > 0`` armed it); 0 for
+    #: the max means "twice the static window".
+    control_min_credits: int = 1
+    control_max_credits: int = 0
+    #: Bounds for mid-job ``shuffle_spill_threshold`` retuning (fractions
+    #: of the shuffle buffer; the controller never leaves this band).
+    control_spill_floor: float = 0.35
+    control_spill_ceiling: float = 0.9
+    #: Responder backlog depth at (or beyond) which a tracker draws a
+    #: placement penalty when reduce attempts are (re)located.
+    control_queue_depth: int = 8
+    #: EWMA health score at (or beyond) which a tracker draws a placement
+    #: penalty (integrity layer must be active for scores to exist).
+    control_health_threshold: float = 0.3
+    #: Migrate in-flight reducers off a tracker that crosses the
+    #: quarantine threshold mid-job (killed-not-failed reschedule).
+    control_migrate: bool = True
+
     # -- data integrity (checksums, corruption recovery, quarantine) --------------
     # Same inert-by-default contract: with integrity_checksums off and no
     # corruption entries in fault_plan, the repro.integrity manager is
@@ -211,6 +238,36 @@ class JobConf:
             )
         if self.quarantine_min_failures < 1:
             raise ValueError("quarantine_min_failures must be >= 1")
+        if self.control_interval < 0:
+            raise ValueError("control_interval must be >= 0")
+        if self.control_interval > 0:
+            if self.control_min_credits < 1:
+                raise ValueError("control_min_credits must be >= 1")
+            if self.control_max_credits < 0:
+                raise ValueError("control_max_credits must be >= 0")
+            if (
+                0 < self.control_max_credits < self.control_min_credits
+            ):
+                raise ValueError(
+                    "control_max_credits must be >= control_min_credits"
+                )
+            if not 0.0 < self.control_spill_floor <= 1.0:
+                raise ValueError(
+                    f"control_spill_floor must be in (0, 1], "
+                    f"got {self.control_spill_floor}"
+                )
+            if not self.control_spill_floor <= self.control_spill_ceiling <= 1.0:
+                raise ValueError(
+                    "control_spill_ceiling must be in "
+                    "[control_spill_floor, 1]"
+                )
+            if self.control_queue_depth < 1:
+                raise ValueError("control_queue_depth must be >= 1")
+            if not 0.0 < self.control_health_threshold <= 1.0:
+                raise ValueError(
+                    f"control_health_threshold must be in (0, 1], "
+                    f"got {self.control_health_threshold}"
+                )
 
     @property
     def integrity_active(self) -> bool:
@@ -227,6 +284,11 @@ class JobConf:
             or self.recv_credits > 0
             or self.responder_queue_limit > 0
         )
+
+    @property
+    def control_active(self) -> bool:
+        """Whether the closed-loop shuffle control plane runs."""
+        return self.control_interval > 0
 
     @property
     def effective_merge_factor(self) -> int:

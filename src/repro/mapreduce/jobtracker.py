@@ -90,6 +90,12 @@ class JobTracker:
 
             ctx.integrity.on_quarantine(_shed)
 
+        if ctx.control is not None:
+            # The closed-loop controller ticks for the duration of the job
+            # (the timer pending when the job's done event stops the sim is
+            # simply never processed).
+            self.sim.process(ctx.control.run(), name="control-plane")
+
         # Job setup (setup task, InputFormat split computation, ...).
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
         start_time = self.sim.now
@@ -136,6 +142,7 @@ class JobTracker:
                 "shuffle.retry.attempts",
                 "shuffle.retry.backoff_seconds",
                 "shuffle.retry.penalty_boxed",
+                "shuffle.retry.penalty_cleared",
                 "shuffle.retry.reports",
                 "map.reexecuted",
                 "map.lost_outputs",
@@ -152,6 +159,12 @@ class JobTracker:
             # verified runs export the same keys as corrupted ones).
             for key, value in ctx.integrity.counters.as_dict().items():
                 counters[f"integrity.{key}"] = value
+        if ctx.control is not None:
+            # Controller decision tally (key set pre-seeded; 0 = the policy
+            # never had cause to act).  Present only when the plane ran.
+            for key, value in ctx.control.counters.as_dict().items():
+                counters[f"control.{key}"] = value
+            counters.setdefault("reduce.migrated", 0.0)
         if conf.backpressure_active:
             # Stable backpressure/spill key set when any flow-control knob
             # is on (0 = the pressure never materialised); absent on
@@ -191,6 +204,8 @@ class JobTracker:
         phase_report = overlap_report(ctx.tracer.spans)
         if ctx.integrity is not None:
             phase_report["integrity"] = ctx.integrity.report()
+        if ctx.control is not None:
+            phase_report["control"] = ctx.control.report()
 
         return JobResult(
             conf=conf,
@@ -414,7 +429,23 @@ class JobTracker:
             # Prefer non-quarantined trackers (re-running a condemned map
             # on the disk that rotted it would just rot it again).
             fit = [tt for tt in healthy if not ctx.integrity.quarantined(tt.name)]
-            healthy = fit or healthy
+            if not fit:
+                # Every live tracker is quarantined.  Fall back — but
+                # loudly, and to the *least-degraded* one (lowest EWMA
+                # score), not to whatever locality/load order happens to
+                # yield.  Least-degraded outranks locality here: a local
+                # read from the most-rotten disk is the worst option.
+                choice = min(
+                    healthy,
+                    key=lambda t: (
+                        ctx.integrity.health_score(t.name),
+                        t.map_slots.count,
+                        t.name,
+                    ),
+                )
+                ctx.integrity.note_quarantine_fallback(choice.name)
+                return choice
+            healthy = fit
         local = [tt for tt in healthy if block.is_local_to(tt.name)]
         pool = local or healthy
         return min(pool, key=lambda t: (t.map_slots.count, t.name))
@@ -498,6 +529,12 @@ class JobTracker:
                     * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
                 )
                 consumer = consumer_cls(ctx, tt, reduce_id, attempt)
+                if ctx.control is not None:
+                    # Fault-free runs still get per-reducer retuning;
+                    # migration needs the faulted wrapper's kill path.
+                    ctx.control.track_attempt(
+                        reduce_id, tt.name, consumer, migratable=False
+                    )
                 try:
                     yield from consumer.run()
                     ctx.spans.append(
@@ -519,6 +556,9 @@ class JobTracker:
                         )
                     )
                     continue
+                finally:
+                    if ctx.control is not None:
+                        ctx.control.untrack_attempt(reduce_id)
             else:
                 raise RuntimeError(
                     f"reduce {reduce_id} exceeded "
@@ -534,9 +574,12 @@ class JobTracker:
         Differences from the plain wrapper: the slot is re-acquired per
         attempt (an attempt whose node crashed moves to a healthy
         TaskTracker), and each attempt races the consumer against its
-        node's crash event.  A crash *kills* the attempt (Hadoop
-        semantics: killed, not failed — it doesn't count toward
-        max_task_attempts); a TaskFailure burns an attempt as usual.
+        node's crash event — and, under the control plane, against a
+        controller-fired migrate event (the tracker crossed the
+        quarantine threshold mid-job).  A crash or a migration *kills*
+        the attempt (Hadoop semantics: killed, not failed — it doesn't
+        count toward max_task_attempts); a TaskFailure burns an attempt
+        as usual.
         """
         from repro.mapreduce.maptask import TaskFailure
         from repro.sim.core import Interrupted
@@ -546,14 +589,16 @@ class JobTracker:
         faults = ctx.faults
         attempt = 0
         failed_attempts = 0
+        relocate = False
         while True:
             if failed_attempts >= ctx.conf.max_task_attempts:
                 raise RuntimeError(
                     f"reduce {reduce_id} exceeded "
                     f"{ctx.conf.max_task_attempts} attempts"
                 )
-            if faults.node_dead(tt.name):
+            if relocate or faults.node_dead(tt.name):
                 tt = self._pick_reduce_tracker(reduce_id)
+                relocate = False
             slot = tt.reduce_slots.request()
             yield slot
             try:
@@ -565,12 +610,20 @@ class JobTracker:
                     * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
                 )
                 consumer = consumer_cls(ctx, tt, reduce_id, attempt)
+                migrate = None
+                if ctx.control is not None:
+                    migrate = ctx.control.track_attempt(
+                        reduce_id, tt.name, consumer
+                    )
                 run_proc = self.sim.process(
                     consumer.run(), name=f"r{reduce_id}-attempt{attempt}"
                 )
                 crash = faults.crash_event(tt.name)
+                race = [run_proc, crash]
+                if migrate is not None:
+                    race.append(migrate)
                 try:
-                    yield self.sim.any_of([run_proc, crash])
+                    yield self.sim.any_of(race)
                 except TaskFailure:
                     # The consumer died first (injected reduce failure or
                     # its own node lost mid-fetch).
@@ -585,17 +638,36 @@ class JobTracker:
                     failed_attempts += 1
                     continue
                 if run_proc.is_alive:
-                    # The node crashed mid-attempt: tear the consumer down
-                    # and wait for its processes to unwind.
-                    consumer.cancel("node-crash")
-                    run_proc.interrupt("node-crash")
+                    # The node crashed mid-attempt — or the controller
+                    # evacuated this reducer off a freshly quarantined
+                    # tracker.  Either way the attempt is killed (not
+                    # failed): tear the consumer down and wait for its
+                    # processes to unwind.
+                    migrated = (
+                        migrate is not None
+                        and migrate.triggered
+                        and not faults.node_dead(tt.name)
+                    )
+                    cause = "control-migrate" if migrated else "node-crash"
+                    consumer.cancel(cause)
+                    run_proc.interrupt(cause)
                     interrupted = False
                     try:
                         yield run_proc
                     except (TaskFailure, Interrupted):
                         interrupted = True
                     if interrupted:
-                        ctx.counters.add("reduce.node_lost", 1)
+                        if migrated:
+                            ctx.counters.add("reduce.migrated", 1)
+                            if ctx.integrity is not None:
+                                # The abandoned attempt's in-flight wire
+                                # exchanges and staged spill files are
+                                # settled — the relaunch refetches from
+                                # scratch under fresh verification.
+                                ctx.integrity.note_migrated(tt.name, reduce_id)
+                            relocate = True
+                        else:
+                            ctx.counters.add("reduce.node_lost", 1)
                         ctx.spans.append(
                             TaskSpan(
                                 "reduce", reduce_id, attempt, tt.name,
@@ -634,21 +706,39 @@ class JobTracker:
                 )
                 break
             finally:
+                if ctx.control is not None:
+                    ctx.control.untrack_attempt(reduce_id)
                 tt.reduce_slots.release(slot)
         self._reduce_done_times.append(self.sim.now)
 
     def _pick_reduce_tracker(self, reduce_id: int) -> TaskTracker:
-        """Least-loaded live TaskTracker for a relocated reduce attempt."""
+        """Least-loaded live TaskTracker for a relocated reduce attempt.
+
+        Under the control plane the choice additionally steers around
+        trackers with deep responder backlogs or degraded health scores.
+        """
         ctx = self.ctx
         healthy = [
             tt for tt in ctx.trackers.values() if not ctx.faults.node_dead(tt.name)
         ]
         if not healthy:
             raise RuntimeError("no healthy TaskTrackers left for reducers")
+
+        def load(t: TaskTracker) -> tuple:
+            return (t.reduce_slots.count + t.reduce_slots.queue_len, t.name)
+
         if ctx.integrity is not None:
             fit = [tt for tt in healthy if not ctx.integrity.quarantined(tt.name)]
-            healthy = fit or healthy
-        return min(
-            healthy,
-            key=lambda t: (t.reduce_slots.count + t.reduce_slots.queue_len, t.name),
-        )
+            if not fit:
+                # All quarantined: fall back loudly to the least-degraded
+                # tracker by EWMA score (see _pick_healthy_tracker).
+                choice = min(
+                    healthy,
+                    key=lambda t: (ctx.integrity.health_score(t.name),) + load(t),
+                )
+                ctx.integrity.note_quarantine_fallback(choice.name)
+                return choice
+            healthy = fit
+        if ctx.control is not None:
+            return ctx.control.pick(healthy, load)
+        return min(healthy, key=load)

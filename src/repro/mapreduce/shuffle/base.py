@@ -59,6 +59,10 @@ class CreditGate:
         self._tokens = Container(ctx.sim, capacity=credits, init=credits)
         self._paused = False
         self._withheld = 0
+        #: Credits destroyed by a shrinking resize() that were in flight
+        #: at the time: future releases are absorbed instead of granted
+        #: until the window has drained down to the new size.
+        self._deficit = 0
 
     def acquire(self) -> Generator[Event, Any, None]:
         """Take one credit, waiting (and counting the stall) when dry."""
@@ -75,11 +79,47 @@ class CreditGate:
 
     def release(self) -> None:
         """Grant the credit back — or withhold it while paused."""
+        if self._deficit > 0:
+            # A shrink is still draining: this credit is destroyed, not
+            # granted (re-minting it would undo the resize).
+            self._deficit -= 1
+            return
         if self._paused:
             self._withheld += 1
             self.ctx.counters.add("shuffle.backpressure.credits_withheld", 1)
         else:
             self._tokens.put(1.0)
+
+    def resize(self, credits: int) -> bool:
+        """Retarget the window to ``credits`` outstanding messages.
+
+        The control plane's actuator.  Growing mints the extra credits
+        immediately; shrinking never claws back credits held by in-flight
+        fetches — it eats free tokens now and absorbs future releases
+        into a deficit until the window has drained to the new size.
+        Returns whether the target changed.
+        """
+        credits = int(credits)
+        if credits < 1 or credits == self.credits:
+            return False
+        delta = credits - self.credits
+        self.credits = credits
+        if delta > 0:
+            # Cancel any outstanding shrink debt before minting anew.
+            settle = min(self._deficit, delta)
+            self._deficit -= settle
+            delta -= settle
+            if delta > 0:
+                self._tokens.capacity = max(
+                    self._tokens.capacity, float(credits)
+                )
+                self._tokens.put(float(delta))
+        else:
+            shortfall = -delta
+            while shortfall > 0 and self._tokens.try_get(1.0):
+                shortfall -= 1
+            self._deficit += shortfall
+        return True
 
     def pause(self) -> None:
         """Merge stalled: stop granting credits back to the senders."""
@@ -92,7 +132,10 @@ class CreditGate:
         self._paused = False
         while self._withheld > 0:
             self._withheld -= 1
-            self._tokens.put(1.0)
+            if self._deficit > 0:
+                self._deficit -= 1
+            else:
+                self._tokens.put(1.0)
 
     @property
     def paused(self) -> bool:
@@ -131,6 +174,13 @@ class ShuffleProvider:
         whose integrity is now suspect (cached segments).  Default: no-op.
         """
 
+    def backlog(self) -> float:
+        """Serve-side queue depth: requests admitted or parked but not yet
+        answered.  The control plane steers reduce placement away from
+        trackers whose responders are drowning.  Default: nothing queues.
+        """
+        return 0.0
+
 
 class ShuffleConsumer:
     """ReduceTask-side shuffle + merge + reduce pipeline (one per reducer)."""
@@ -163,6 +213,9 @@ class ShuffleConsumer:
         self._host_failures: dict[str, int] = {}
         self._penalty_until: dict[str, float] = {}
         self._retry_jitter: Any = None
+        #: Credit gate for engines that arm ``recv_credits`` (subclasses
+        #: replace this); the base retune() hook only touches a live gate.
+        self._credit_gate: CreditGate | None = None
         #: The all_of this consumer's run() is currently gathered on; a
         #: cancelled attempt defuses it (its waiter is gone, and the
         #: interrupted children would otherwise fail it unhandled).
@@ -219,8 +272,26 @@ class ShuffleConsumer:
         return max(0.0, until - self.ctx.sim.now)
 
     def _note_fetch_success(self, host: str) -> None:
-        self._host_failures.pop(host, None)
-        self._penalty_until.pop(host, None)
+        """Decay ``host``'s penalty state after one good fetch.
+
+        The failure streak is *halved*, not cleared: a host alternating
+        failure and success keeps accumulating history and still lands in
+        the penalty box, instead of resetting to a clean slate each time
+        (which let a flapping host dodge the box for the whole job).  An
+        active box deadline is lifted outright — the host demonstrably
+        serves again, so making new fetches wait out a stale sentence
+        only drags the tail.
+        """
+        streak = self._host_failures.get(host)
+        if streak is not None:
+            streak //= 2
+            if streak > 0:
+                self._host_failures[host] = streak
+            else:
+                del self._host_failures[host]
+        until = self._penalty_until.pop(host, None)
+        if until is not None and until > self.ctx.sim.now:
+            self.ctx.counters.add("shuffle.retry.penalty_cleared", 1)
 
     def _fetch_backoff(self, host: str) -> float:
         """Record one failed fetch from ``host``; return the back-off delay.
@@ -245,6 +316,44 @@ class ShuffleConsumer:
             ctx.counters.add("shuffle.retry.penalty_boxed", 1)
         ctx.counters.add("shuffle.retry.backoff_seconds", delay)
         return delay
+
+    # -- control-plane actuators (repro.control) ------------------------------
+
+    def retune(
+        self,
+        recv_credits: int | None = None,
+        spill_threshold: float | None = None,
+    ) -> dict[str, float]:
+        """Mid-job knob adjustment from the control plane.
+
+        Returns the changes that actually took effect — empty when
+        nothing did (the gate was never armed, or the engine has no
+        spill machinery to move).
+        """
+        applied: dict[str, float] = {}
+        if recv_credits is not None and self._credit_gate is not None:
+            if self._credit_gate.resize(int(recv_credits)):
+                applied["recv_credits"] = float(int(recv_credits))
+        if spill_threshold is not None:
+            if self._apply_spill_threshold(float(spill_threshold)):
+                applied["spill_threshold"] = round(float(spill_threshold), 6)
+        return applied
+
+    def _apply_spill_threshold(self, fraction: float) -> bool:
+        """Engine hook: move the spill/merge trigger to ``fraction`` of
+        the shuffle buffer.  Default: this engine has no such trigger.
+        """
+        return False
+
+    def control_signals(self) -> dict[str, float]:
+        """Pressure gauges the control plane reads each tick.
+
+        Empty (the default) means this consumer exposes nothing to
+        retune.  Engines report at least ``mem_frac`` (buffered bytes as
+        a fraction of the shuffle buffer); ``spill_frac``, ``credits``
+        and ``gate_paused`` when the corresponding machinery is armed.
+        """
+        return {}
 
     # -- shared helpers -------------------------------------------------------
 

@@ -86,3 +86,13 @@ class HadoopAConsumer(StreamingConsumer):
             and self._staged_pending == 0
             and self._staging_active == 0
         )
+
+    def control_signals(self) -> dict[str, float]:
+        """Add staging pressure: Hadoop-A's oversized packets routinely
+        force the disk-staging fallback, and a reducer with staging still
+        in flight is memory/disk-bound even when its merge buffers look
+        calm (the merge gate is closed until staging drains)."""
+        signals = super().control_signals()
+        if signals:
+            signals["staging"] = float(self._staged_pending + self._staging_active)
+        return signals

@@ -55,6 +55,10 @@ class HttpShuffleProvider(ShuffleProvider):
         self._pending = 0
         self._deferred: deque[Event] = deque()
 
+    def backlog(self) -> float:
+        """Servlet pressure: requests waiting a thread plus parked ones."""
+        return float(self.servlets.queue_len + len(self._deferred))
+
     def serve(
         self, requester_node: Any, map_id: int, reduce_id: int
     ) -> Generator[Event, Any, float]:
@@ -394,6 +398,34 @@ class HttpShuffleConsumer(ShuffleConsumer):
         ctx.report_fetch_failure(meta)
         new_meta = yield ev
         return new_meta
+
+    # -- control-plane actuators (repro.control) --------------------------------
+
+    def _apply_spill_threshold(self, fraction: float) -> bool:
+        """Move the in-memory merge trigger (this engine's spill line)."""
+        if self.capacity <= 0:
+            return False
+        new_trigger = fraction * self.capacity
+        if abs(new_trigger - self._merge_trigger) < 1.0:
+            return False
+        self._merge_trigger = new_trigger
+        if self.mem_bytes >= new_trigger:
+            # A lowered line may already be crossed: merge now, not on the
+            # next segment arrival.
+            self._start_memory_merge()
+        return True
+
+    def control_signals(self) -> dict[str, float]:
+        if self.capacity <= 0:
+            return {}
+        signals = {
+            "mem_frac": (self.capacity - self.mem.level) / self.capacity,
+            "spill_frac": self._merge_trigger / self.capacity,
+        }
+        if self._credit_gate is not None:
+            signals["credits"] = float(self._credit_gate.credits)
+            signals["gate_paused"] = 1.0 if self._credit_gate.paused else 0.0
+        return signals
 
     # -- mergers ---------------------------------------------------------------
 

@@ -122,6 +122,10 @@ class QueueingProvider(ShuffleProvider):
             return
         self.data_request_queue.put((req, done, requester_node))
 
+    def backlog(self) -> float:
+        """Responder pressure: requests admitted plus requests parked."""
+        return float(len(self.data_request_queue) + len(self._parked_requests))
+
     def _admit_parked(self) -> None:
         """A responder freed a queue slot: admit deferred requests."""
         while self._parked_requests and (
@@ -363,6 +367,46 @@ class StreamingConsumer(ShuffleConsumer):
         """Packets one exchange of ``nbytes`` rides in (integrity's wire
         model: per-packet corruption compounds over the exchange)."""
         return max(1.0, -(-nbytes // self.ctx.conf.rdma_packet_bytes))
+
+    # -- control-plane actuators (repro.control) --------------------------------
+
+    def _apply_spill_threshold(self, fraction: float) -> bool:
+        """Move the spill line (and the gate-pause line riding on it).
+
+        Only an armed spill machinery is retuned — the controller never
+        switches on a mode the job didn't configure.
+        """
+        if not self._spill_enabled or self.capacity <= 0:
+            return False
+        new_bytes = fraction * self.capacity
+        if abs(new_bytes - self._spill_bytes) < 1.0:
+            return False
+        self._spill_bytes = new_bytes
+        self._pressure_bytes = new_bytes
+        # A raised line may unblock fetchers parked on _mem_stall().
+        self._signal()
+        return True
+
+    def control_signals(self) -> dict[str, float]:
+        if self.capacity <= 0:
+            return {}
+        signals = {
+            "mem_frac": self._mem_in_use() / self.capacity,
+            "spill_frac": (
+                self._spill_bytes / self.capacity if self._spill_enabled else 0.0
+            ),
+        }
+        if self._credit_gate is not None:
+            signals["credits"] = float(self._credit_gate.credits)
+            signals["gate_paused"] = 1.0 if self._credit_gate.paused else 0.0
+        known = sum(s.seg_bytes for s in self.states.values())
+        if known > 0 and self.ctx.n_maps > 0:
+            # Runs not yet announced are sized at the mean of the known
+            # ones; good enough for the migration-profitability guard.
+            est_total = known * (self.ctx.n_maps / len(self.states))
+            fetched = sum(s.offset for s in self.states.values())
+            signals["shuffle_progress"] = min(1.0, fetched / est_total)
+        return signals
 
     # -- lifecycle ----------------------------------------------------------------
 

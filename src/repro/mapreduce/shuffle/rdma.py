@@ -68,6 +68,19 @@ class RdmaShuffleProvider(QueueingProvider):
         if self.prefetcher is not None:
             self.prefetcher.on_map_output(meta, file)
 
+    def backlog(self) -> float:
+        """Responder pressure plus cache-miss pressure.
+
+        A deep prefetch queue means responders are (or soon will be)
+        taking the disk path on the critical path — for placement
+        purposes that tracker is as congested as one with a deep
+        DataRequestQueue.
+        """
+        depth = super().backlog()
+        if self.prefetcher is not None:
+            depth += float(len(self.prefetcher.queue))
+        return depth
+
     def fetch_payload(
         self, req: DataRequest, meta: MapOutputMeta, file: Any, take: float
     ) -> Generator[Event, Any, bool]:

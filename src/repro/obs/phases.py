@@ -206,13 +206,15 @@ def overlap_report(spans: list[PhaseSpan]) -> dict[str, Any]:
         {
             "merge_before_shuffle_done_frac": merge_early / n,
             "reduce_before_merge_done_frac": reduce_early / n,
-            "mean_merge_lag_after_first_packet": (
-                sum(lags) / len(lags) if lags else None
-            ),
             "mean_reduce_merge_overlap_frac": (
                 sum(t["reduce_merge_overlap_frac"] for t in per_task) / n
             ),
             "pipelined": (merge_early > n / 2 and reduce_early > n / 2),
         }
     )
+    if lags:
+        # Omitted (not None) when no task ever merged: a row that reads
+        # "merge lag: None" in the overlap table means the tracing ran on
+        # a job with no merge phase, which is not a lag of zero.
+        report["mean_merge_lag_after_first_packet"] = sum(lags) / len(lags)
     return report

@@ -61,6 +61,11 @@ _SKEW_TOLERANCE = 0.4
 #: re-fetch / re-execution cost moves with any shuffle-timing change).
 _INTEGRITY_TOLERANCE = 0.3
 
+#: Absolute slack on the control-plane speedup (best-static / controller,
+#: around 1.1x).  The controller-wins floor (speedup >= 1) is absolute:
+#: no tolerance ever excuses the adaptive loop losing to a static knob.
+_CONTROL_TOLERANCE = 0.15
+
 
 def _load(path: Path) -> dict:
     with open(path, encoding="utf-8") as fh:
@@ -145,6 +150,30 @@ def compare_integrity(name: str, fresh: dict, base: dict) -> list[str]:
     return _compare_slowdowns(name, fresh, base, _INTEGRITY_TOLERANCE, "corruption")
 
 
+def compare_control(name: str, fresh: dict, base: dict) -> list[str]:
+    """One-sided controller-beats-best-static gate (winning more is fine)."""
+    problems = []
+    want = base.get("speedup")
+    got = fresh.get("speedup")
+    if want is None:
+        problems.append(f"{name}: baseline has no speedup")
+        return problems
+    if got is None:
+        problems.append(f"{name}: missing speedup")
+        return problems
+    if got < 1.0:
+        problems.append(
+            f"{name}: controller lost to the best static setting "
+            f"(speedup {got:.3f} < 1.0)"
+        )
+    elif got < want - _CONTROL_TOLERANCE:
+        problems.append(
+            f"{name}: controller speedup fell to {got:.3f} from baseline "
+            f"{want:.3f} (tolerance {_CONTROL_TOLERANCE})"
+        )
+    return problems
+
+
 def check(
     bench_dir: str | os.PathLike[str],
     baseline_dir: str | os.PathLike[str],
@@ -179,6 +208,8 @@ def check(
             problems += compare_skew(name, fresh, base)
         elif base.get("benchmark") == "integrity":
             problems += compare_integrity(name, fresh, base)
+        elif base.get("benchmark") == "control":
+            problems += compare_control(name, fresh, base)
         else:
             problems += compare_figure(name, fresh, base, tolerance)
         notes.append(f"{name}: compared at scale {base.get('scale')}")
@@ -195,6 +226,17 @@ def prune_baseline(doc: dict) -> dict:
         return {key: doc[key] for key in keep if key in doc}
     if doc.get("benchmark") in ("faults", "skew", "integrity"):
         keep = ("benchmark", "figure", "scale", "slowdowns")
+        return {key: doc[key] for key in keep if key in doc}
+    if doc.get("benchmark") == "control":
+        keep = (
+            "benchmark",
+            "figure",
+            "scale",
+            "speedup",
+            "best_static_seconds",
+            "controller_seconds",
+            "static",
+        )
         return {key: doc[key] for key in keep if key in doc}
     return {
         "figure": doc.get("figure"),
