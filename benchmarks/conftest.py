@@ -18,10 +18,24 @@ import os
 import pytest
 
 from repro.obs.export import write_bench_json
+from repro.tools.profiling import maybe_profile, profile_enabled
 
 
 def bench_scale(default: float = 0.1) -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(autouse=True)
+def _profile_benchmark(request):
+    """``REPRO_PROFILE=1`` cProfiles every benchmark test to stderr.
+
+    The hotspot table (top ``REPRO_PROFILE_TOP`` by ``REPRO_PROFILE_SORT``)
+    is labelled with the test's node name, so ``REPRO_PROFILE=1 pytest
+    benchmarks/test_fig4a_terasort_4nodes.py`` answers "where does this
+    figure spend its time" without editing any code.
+    """
+    with maybe_profile(request.node.name, enabled=profile_enabled()):
+        yield
 
 
 @pytest.fixture

@@ -24,13 +24,14 @@ by more is fine).
 """
 
 import dataclasses
-import json
 import os
 
 from repro.cluster.presets import westmere_cluster
 from repro.faults import DiskCorruption, FaultPlan
 from repro.mapreduce.driver import run_job
 from repro.mapreduce.job import terasort_job
+from repro.obs.export import write_json_atomic
+from repro.parallel import SweepExecutor, SweepPoint
 
 from .conftest import bench_scale
 
@@ -107,13 +108,26 @@ def _run(data_bytes: float, recv_credits: int, spill: float, **extra):
     )
 
 
+def _static_point(data_bytes: float, recv_credits: int, spill: float):
+    """One static grid point (module-level: spawn-safe for the executor)."""
+    r = _run(data_bytes, recv_credits, spill)
+    return r.execution_time, round(r.counters["reduce.output_bytes"])
+
+
 def _sweep(data_bytes: float) -> dict:
+    # The static grid points are independent seeded runs — fan them
+    # through the sweep executor (serial unless REPRO_SWEEP_WORKERS is
+    # set; results are bit-identical either way).
+    points = [
+        SweepPoint(_static_point, args=(data_bytes, rc, sp), key=(rc, sp))
+        for rc, sp in STATIC_GRID
+    ]
+    results = SweepExecutor().run(points)
     static = {}
     outputs = set()
-    for recv_credits, spill in STATIC_GRID:
-        r = _run(data_bytes, recv_credits, spill)
-        static[f"credits={recv_credits},spill={spill}"] = r.execution_time
-        outputs.add(round(r.counters["reduce.output_bytes"]))
+    for (recv_credits, spill), (seconds, output_bytes) in zip(STATIC_GRID, results):
+        static[f"credits={recv_credits},spill={spill}"] = seconds
+        outputs.add(output_bytes)
     rc, sp = CONTROL_START
     controlled = _run(data_bytes, rc, sp, control_interval=CONTROL_INTERVAL)
     outputs.add(round(controlled.counters["reduce.output_bytes"]))
@@ -166,7 +180,4 @@ def test_controller_beats_best_static(benchmark):
         "control_interval": CONTROL_INTERVAL,
         **result,
     }
-    path = os.path.join(out_dir, "BENCH_control.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_atomic(payload, os.path.join(out_dir, "BENCH_control.json"))

@@ -16,7 +16,6 @@ engine) so ``tools/bench_trend.py`` tracks the cost of the
 verify-and-recover path across PRs.
 """
 
-import json
 import os
 
 from repro.cluster.presets import westmere_cluster
@@ -24,6 +23,7 @@ from repro.faults import standard_corruption_plan
 from repro.mapreduce.driver import run_job
 from repro.mapreduce.job import terasort_job
 from repro.mapreduce.shuffle.base import ENGINES
+from repro.obs.export import write_json_atomic
 
 from .conftest import bench_scale
 
@@ -138,7 +138,4 @@ def test_corruption_recovery_all_engines(benchmark):
         "slowdowns": {engine: r["slowdown"] for engine, r in engines.items()},
         "engines": engines,
     }
-    path = os.path.join(out_dir, "BENCH_integrity.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_atomic(payload, os.path.join(out_dir, "BENCH_integrity.json"))

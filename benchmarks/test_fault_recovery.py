@@ -13,7 +13,6 @@ Exports ``BENCH_faults.json`` (slowdowns + recovery counters per engine)
 so ``tools/bench_trend.py`` tracks fault-recovery cost across PRs.
 """
 
-import json
 import os
 
 from repro.cluster.presets import westmere_cluster
@@ -21,6 +20,7 @@ from repro.faults import standard_fault_plan
 from repro.mapreduce.driver import run_job
 from repro.mapreduce.job import terasort_job
 from repro.mapreduce.shuffle.base import ENGINES
+from repro.obs.export import write_json_atomic
 
 from .conftest import bench_scale
 
@@ -135,7 +135,4 @@ def test_fault_recovery_all_engines(benchmark):
         "slowdowns": {engine: r["slowdown"] for engine, r in engines.items()},
         "engines": engines,
     }
-    path = os.path.join(out_dir, "BENCH_faults.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_atomic(payload, os.path.join(out_dir, "BENCH_faults.json"))

@@ -25,11 +25,13 @@ costs two full fig4a runs, and 0.04 keeps that under ~10 s while still
 exercising the dense all-to-all shuffle regime.
 """
 
-import json
 import os
 import time
 
 from repro.experiments.figures import fig4a
+from repro.network.flows import FlowNetwork, Link
+from repro.obs.export import write_json_atomic
+from repro.sim.core import Simulator
 
 #: Relative tolerance for series-time equivalence between modes.  Rates
 #: are bit-identical; only byte-drain accumulation order differs.
@@ -76,6 +78,36 @@ def _run_mode(mode: str, scale: float) -> dict:
             counters["net.rerate_touched_flows"] / counters["net.changes"]
         ),
         "series": series_times,
+    }
+
+
+def _waterfill_micro(n_nodes: int = 8, iterations: int = 50) -> dict:
+    """Raw ``_water_fill`` throughput on a dense all-to-all component.
+
+    ``n_nodes**2`` flows, each crossing one sender uplink and one
+    receiver downlink — the shuffle's worst-case single component.  The
+    numbers are machine-dependent (recorded for the trend series, never
+    asserted or baselined); the per-level arithmetic itself is gated by
+    the bit-identity oracle tests.
+    """
+    sim = Simulator()
+    net = FlowNetwork(sim, incremental=True)
+    up = [Link(f"up{i}", 1e9) for i in range(n_nodes)]
+    down = [Link(f"down{i}", 1e9) for i in range(n_nodes)]
+    for i in range(n_nodes):
+        for j in range(n_nodes):
+            net.transfer((up[i], down[j]), 1e12)
+    flows = list(net._flows)
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        net._water_fill(flows)
+    wall = time.perf_counter() - t0
+    return {
+        "flows": len(flows),
+        "links": 2 * n_nodes,
+        "iterations": iterations,
+        "wall_seconds": wall,
+        "flow_rates_per_second": len(flows) * iterations / wall,
     }
 
 
@@ -130,8 +162,6 @@ def test_simperf_incremental_vs_oracle():
         ),
         "wall_speedup": glob["wall_seconds"] / incr["wall_seconds"],
         "worst_series_delta": worst,
+        "waterfill_micro": _waterfill_micro(),
     }
-    path = os.path.join(out_dir, "BENCH_simperf.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_atomic(payload, os.path.join(out_dir, "BENCH_simperf.json"))

@@ -18,13 +18,13 @@ across PRs (one-sided: getting cheaper is fine).
 """
 
 import dataclasses
-import json
 import os
 
 from repro.cluster.presets import westmere_cluster
 from repro.mapreduce.driver import run_job
 from repro.mapreduce.job import terasort_job
 from repro.mapreduce.shuffle.base import ENGINES
+from repro.obs.export import write_json_atomic
 
 from .conftest import bench_scale
 
@@ -143,7 +143,4 @@ def test_skew_lowmem_all_engines(benchmark):
         "slowdowns": {engine: r["slowdown"] for engine, r in engines.items()},
         "engines": engines,
     }
-    path = os.path.join(out_dir, "BENCH_skew.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_atomic(payload, os.path.join(out_dir, "BENCH_skew.json"))

@@ -60,6 +60,7 @@ from repro.storage.disk import HDD_1TB, HDD_160GB, SSD_SATA
 
 __all__ = [
     "DEFAULT_COSTS",
+    "PAPER_CLAIMS",
     "CostModel",
     "GIGE",
     "HDD_160GB",
@@ -68,8 +69,88 @@ __all__ = [
     "IPOIB",
     "SSD_SATA",
     "TENGIGE_TOE",
+    "measure_paper_claims",
     "paper_expectations",
 ]
+
+#: The paper's headline claims mapped onto figure series: ``figure ->
+#: [(x, ours_label, baseline_label, paper fractional improvement)]``.
+#: The CLI (``run.py``) prints measured-vs-paper lines from this table,
+#: and :func:`measure_paper_claims` re-measures it wholesale.
+PAPER_CLAIMS: dict[str, list[tuple[float, str, str, float]]] = {
+    "fig4a": [
+        (30, "OSU-IB (32Gbps)-1disk", "HadoopA-IB (32Gbps)-1disk", 0.09),
+        (30, "OSU-IB (32Gbps)-1disk", "IPoIB (32Gbps)-1disk", 0.35),
+        (30, "OSU-IB (32Gbps)-1disk", "10GigE-1disk", 0.38),
+        (30, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.13),
+        (40, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.17),
+        (40, "OSU-IB (32Gbps)-2disks", "IPoIB (32Gbps)-2disks", 0.48),
+    ],
+    "fig4b": [
+        (100, "OSU-IB (32Gbps)-1disk", "HadoopA-IB (32Gbps)-1disk", 0.21),
+        (100, "OSU-IB (32Gbps)-1disk", "IPoIB (32Gbps)-1disk", 0.32),
+        (100, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.31),
+        (100, "OSU-IB (32Gbps)-2disks", "IPoIB (32Gbps)-2disks", 0.39),
+    ],
+    "fig5": [
+        (100, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.07),
+        (100, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.41),
+    ],
+    "fig6a": [
+        (20, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.38),
+        (20, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.26),
+    ],
+    "fig6b": [
+        (40, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.32),
+        (40, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.27),
+    ],
+    "fig7": [
+        (15, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.22),
+        (15, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.46),
+    ],
+    "fig8": [
+        (
+            20,
+            "OSU-IB (With Caching Enabled)",
+            "OSU-IB (Without Caching Enabled)",
+            0.1839,
+        ),
+    ],
+}
+
+
+def measure_paper_claims(
+    figures: list[str] | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Re-measure every tabled claim, fanning figure grids across workers.
+
+    Returns ``{figure: {claim: {"measured": ..., "paper": ...}}}`` where a
+    claim key reads like ``"30GB OSU-IB (32Gbps)-1disk vs ..."``.  The
+    heavy lifting — the per-figure grids — runs through
+    :class:`repro.parallel.SweepExecutor`, so a calibration pass over all
+    seven figures parallelises exactly like the figure sweeps do.
+    """
+    from repro.experiments.figures import ALL_FIGURES
+
+    names = figures if figures is not None else sorted(PAPER_CLAIMS)
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for name in names:
+        fig = ALL_FIGURES[name](scale=scale, seed=seed, workers=workers)
+        claims: dict[str, dict[str, float]] = {}
+        for x, ours, base, paper in PAPER_CLAIMS.get(name, []):
+            try:
+                measured = fig.improvement(x, ours, base)
+            except KeyError:
+                continue
+            claims[f"{x:g}GB {ours} vs {base}"] = {
+                "measured": measured,
+                "paper": paper,
+            }
+        out[name] = claims
+    return out
 
 
 def paper_expectations() -> dict[str, dict[str, float]]:

@@ -9,6 +9,12 @@ quickly in CI/benchmarks; the shapes were validated at ``scale=1.0``
 (paper scale) and the recorded outputs live in EXPERIMENTS.md.  Buffer,
 heap, and cache sizes never scale — only the dataset — so sub-scale runs
 compress (but never reorder) memory-pressure effects.
+
+``workers`` fans the grid points across processes via
+:class:`repro.parallel.SweepExecutor` (``None`` reads
+``REPRO_SWEEP_WORKERS``, default serial).  Every point is an independent
+seeded simulation, so parallel runs are bit-identical to serial ones —
+only wall-clock changes (see ``benchmarks/test_sweep.py``).
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ from collections.abc import Callable
 from repro.cluster.presets import westmere_cluster
 from repro.experiments.report import FigureResult, Series
 from repro.mapreduce.driver import run_job
-from repro.mapreduce.job import JobConf, sort_job, terasort_job
+from repro.mapreduce.job import JobResult, sort_job, terasort_job
+from repro.parallel import SweepExecutor, SweepPoint
 
 __all__ = [
     "ALL_FIGURES",
@@ -41,31 +48,88 @@ ROW_IPOIB = ("IPoIB (32Gbps)", "ipoib", "http")
 ROW_HADOOPA = ("HadoopA-IB (32Gbps)", "ipoib", "hadoopa")
 ROW_OSU = ("OSU-IB (32Gbps)", "ipoib", "rdma")
 
+_WORKLOADS = {"terasort": terasort_job, "sort": sort_job}
+
+
+def _grid_point(
+    workload: str,
+    size_bytes: float,
+    n_nodes: int,
+    engine: str,
+    fabric: str,
+    node_kind: str,
+    n_disks: int,
+    seed: int,
+    overrides: dict | None = None,
+) -> JobResult:
+    """One figure grid point (module-level: spawn-safe for sweep workers)."""
+    conf = _WORKLOADS[workload](size_bytes, n_nodes, engine, **(overrides or {}))
+    nodes = westmere_cluster(n_nodes, n_disks=n_disks, node_kind=node_kind)
+    return run_job(nodes, fabric, conf, seed=seed)
+
+
+def _run_grid(
+    fig: FigureResult,
+    grid: list[tuple[str, float, SweepPoint]],
+    workers: int | None,
+) -> None:
+    """Execute ``(series label, x, point)`` rows and assemble the series.
+
+    Results are collected in submission order, so the assembled figure is
+    identical to what the old nested serial loops produced, for any
+    worker count.
+    """
+    results = SweepExecutor(workers).run([point for _, _, point in grid])
+    by_label: dict[str, Series] = {}
+    for (label, x, _), result in zip(grid, results):
+        series = by_label.get(label)
+        if series is None:
+            series = by_label[label] = Series(label=label)
+            fig.series.append(series)
+        series.add(x, result)
+
 
 def _sweep(
     fig: FigureResult,
     rows: list[tuple[str, str, str]],
     sizes_gb: list[float],
-    conf_factory: Callable[[float, str], JobConf],
+    workload: str,
     node_kind: str,
     n_nodes: int,
     disks_options: list[int],
     scale: float,
     seed: int,
+    workers: int | None = None,
 ) -> None:
+    grid: list[tuple[str, float, SweepPoint]] = []
     for n_disks in disks_options:
         suffix = f"-{n_disks}disk{'s' if n_disks > 1 else ''}" if len(disks_options) > 1 else ""
         for label, fabric, engine in rows:
-            series = Series(label=f"{label}{suffix}")
             for size_gb in sizes_gb:
-                conf = conf_factory(size_gb * scale * GB, engine)
-                nodes = westmere_cluster(n_nodes, n_disks=n_disks, node_kind=node_kind)
-                result = run_job(nodes, fabric, conf, seed=seed)
-                series.add(size_gb, result)
-            fig.series.append(series)
+                grid.append(
+                    (
+                        f"{label}{suffix}",
+                        size_gb,
+                        SweepPoint(
+                            _grid_point,
+                            args=(
+                                workload,
+                                size_gb * scale * GB,
+                                n_nodes,
+                                engine,
+                                fabric,
+                                node_kind,
+                                n_disks,
+                                seed,
+                            ),
+                            key=(fig.figure, f"{label}{suffix}", size_gb),
+                        ),
+                    )
+                )
+    _run_grid(fig, grid, workers)
 
 
-def fig4a(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig4a(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 4(a): TeraSort, 4 DataNodes, 20-40 GB, 1 and 2 HDDs."""
     fig = FigureResult(
         figure="fig4a",
@@ -76,17 +140,18 @@ def fig4a(scale: float = 1.0, seed: int = 0) -> FigureResult:
         fig,
         rows=[ROW_10GIGE, ROW_IPOIB, ROW_HADOOPA, ROW_OSU],
         sizes_gb=[20, 30, 40],
-        conf_factory=lambda nbytes, engine: terasort_job(nbytes, 4, engine),
+        workload="terasort",
         node_kind="compute",
         n_nodes=4,
         disks_options=[1, 2],
         scale=scale,
         seed=seed,
+        workers=workers,
     )
     return fig
 
 
-def fig4b(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig4b(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 4(b): TeraSort, 8 DataNodes, 60-100 GB, 1 and 2 HDDs."""
     fig = FigureResult(
         figure="fig4b",
@@ -97,17 +162,18 @@ def fig4b(scale: float = 1.0, seed: int = 0) -> FigureResult:
         fig,
         rows=[ROW_1GIGE, ROW_IPOIB, ROW_HADOOPA, ROW_OSU],
         sizes_gb=[60, 80, 100],
-        conf_factory=lambda nbytes, engine: terasort_job(nbytes, 8, engine),
+        workload="terasort",
         node_kind="compute",
         n_nodes=8,
         disks_options=[1, 2],
         scale=scale,
         seed=seed,
+        workers=workers,
     )
     return fig
 
 
-def fig5(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig5(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 5: TeraSort on storage nodes — 100 GB @ 12 nodes, 200 GB @ 24.
 
     Storage nodes carry 24 GB RAM (twice the compute nodes'), which the
@@ -119,17 +185,34 @@ def fig5(scale: float = 1.0, seed: int = 0) -> FigureResult:
         xlabel="configuration (GB sorted; see notes)",
     )
     fig.notes.append("x=100 -> 100GB on 12 nodes; x=200 -> 200GB on 24 nodes")
+    grid: list[tuple[str, float, SweepPoint]] = []
     for label, fabric, engine in [ROW_1GIGE, ROW_IPOIB, ROW_HADOOPA, ROW_OSU]:
-        series = Series(label=label)
         for size_gb, n_nodes in [(100, 12), (200, 24)]:
-            conf = terasort_job(size_gb * scale * GB, n_nodes, engine)
-            nodes = westmere_cluster(n_nodes, n_disks=1, node_kind="storage")
-            series.add(size_gb, run_job(nodes, fabric, conf, seed=seed))
-        fig.series.append(series)
+            grid.append(
+                (
+                    label,
+                    size_gb,
+                    SweepPoint(
+                        _grid_point,
+                        args=(
+                            "terasort",
+                            size_gb * scale * GB,
+                            n_nodes,
+                            engine,
+                            fabric,
+                            "storage",
+                            1,
+                            seed,
+                        ),
+                        key=("fig5", label, size_gb),
+                    ),
+                )
+            )
+    _run_grid(fig, grid, workers)
     return fig
 
 
-def fig6a(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig6a(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 6(a): Sort benchmark, 4 DataNodes, 5-20 GB, single HDD."""
     fig = FigureResult(
         figure="fig6a",
@@ -140,17 +223,18 @@ def fig6a(scale: float = 1.0, seed: int = 0) -> FigureResult:
         fig,
         rows=[ROW_1GIGE, ROW_IPOIB, ROW_HADOOPA, ROW_OSU],
         sizes_gb=[5, 10, 15, 20],
-        conf_factory=lambda nbytes, engine: sort_job(nbytes, 4, engine),
+        workload="sort",
         node_kind="compute",
         n_nodes=4,
         disks_options=[1],
         scale=scale,
         seed=seed,
+        workers=workers,
     )
     return fig
 
 
-def fig6b(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig6b(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 6(b): Sort benchmark, 8 DataNodes, 25-40 GB, single HDD."""
     fig = FigureResult(
         figure="fig6b",
@@ -161,17 +245,18 @@ def fig6b(scale: float = 1.0, seed: int = 0) -> FigureResult:
         fig,
         rows=[ROW_1GIGE, ROW_IPOIB, ROW_HADOOPA, ROW_OSU],
         sizes_gb=[25, 30, 35, 40],
-        conf_factory=lambda nbytes, engine: sort_job(nbytes, 8, engine),
+        workload="sort",
         node_kind="compute",
         n_nodes=8,
         disks_options=[1],
         scale=scale,
         seed=seed,
+        workers=workers,
     )
     return fig
 
 
-def fig7(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig7(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 7: Sort benchmark with SSD as the HDFS data store."""
     fig = FigureResult(
         figure="fig7",
@@ -182,17 +267,18 @@ def fig7(scale: float = 1.0, seed: int = 0) -> FigureResult:
         fig,
         rows=[ROW_1GIGE, ROW_IPOIB, ROW_HADOOPA, ROW_OSU],
         sizes_gb=[5, 10, 15, 20],
-        conf_factory=lambda nbytes, engine: sort_job(nbytes, 4, engine),
+        workload="sort",
         node_kind="ssd",
         n_nodes=4,
         disks_options=[1],
         scale=scale,
         seed=seed,
+        workers=workers,
     )
     return fig
 
 
-def fig8(scale: float = 1.0, seed: int = 0) -> FigureResult:
+def fig8(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
     """Figure 8: effect of the caching mechanism (Sort on SSD).
 
     Series: IPoIB baseline, OSU-IB with mapred.local.caching.enabled
@@ -209,13 +295,31 @@ def fig8(scale: float = 1.0, seed: int = 0) -> FigureResult:
         ("OSU-IB (Without Caching Enabled)", "ipoib", "rdma", {"caching_enabled": False}),
         ("OSU-IB (With Caching Enabled)", "ipoib", "rdma", {}),
     ]
+    grid: list[tuple[str, float, SweepPoint]] = []
     for label, fabric, engine, overrides in variants:
-        series = Series(label=label)
         for size_gb in [5, 10, 15, 20]:
-            conf = sort_job(size_gb * scale * GB, 4, engine, **overrides)
-            nodes = westmere_cluster(4, n_disks=1, node_kind="ssd")
-            series.add(size_gb, run_job(nodes, fabric, conf, seed=seed))
-        fig.series.append(series)
+            grid.append(
+                (
+                    label,
+                    size_gb,
+                    SweepPoint(
+                        _grid_point,
+                        args=(
+                            "sort",
+                            size_gb * scale * GB,
+                            4,
+                            engine,
+                            fabric,
+                            "ssd",
+                            1,
+                            seed,
+                        ),
+                        kwargs={"overrides": overrides},
+                        key=("fig8", label, size_gb),
+                    ),
+                )
+            )
+    _run_grid(fig, grid, workers)
     return fig
 
 

@@ -3,8 +3,9 @@
 Examples::
 
     python -m repro.experiments.run --figure fig4a
-    python -m repro.experiments.run --all --scale 0.1
+    python -m repro.experiments.run --all --scale 0.1 --workers 4
     python -m repro.experiments.run --figure fig8 --out results/
+    python -m repro.experiments.run --figure fig6a --scale 0.05 --profile
 """
 
 from __future__ import annotations
@@ -14,58 +15,29 @@ import sys
 import time
 from pathlib import Path
 
+from repro.experiments.calibration import PAPER_CLAIMS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import FigureResult
+from repro.tools.profiling import maybe_profile
 
 
 def _claims(fig: FigureResult) -> list[str]:
-    """Headline improvement lines matching the paper's quoted numbers."""
+    """Headline improvement lines matching the paper's quoted numbers.
+
+    The claim table itself lives in :data:`repro.experiments.calibration.
+    PAPER_CLAIMS` (one source of truth for the CLI, the calibration
+    re-measurement sweep, and the trend tests).
+    """
     out: list[str] = []
-
-    def claim(x: float, ours: str, base: str, paper: float) -> None:
+    for x, ours, base, paper in PAPER_CLAIMS.get(fig.figure, []):
         try:
-            ours_v = fig.improvement(x, ours, base)
+            measured = fig.improvement(x, ours, base)
         except KeyError:
-            return
+            continue
         out.append(
-            f"{fig.figure} @{x:g}GB: OSU-IB vs {base}: "
-            f"measured {ours_v:+.1%}, paper {paper:+.1%}"
+            f"{fig.figure} @{x:g}GB: {ours} vs {base}: "
+            f"measured {measured:+.1%}, paper {paper:+.1%}"
         )
-
-    if fig.figure == "fig4a":
-        claim(30, "OSU-IB (32Gbps)-1disk", "HadoopA-IB (32Gbps)-1disk", 0.09)
-        claim(30, "OSU-IB (32Gbps)-1disk", "IPoIB (32Gbps)-1disk", 0.35)
-        claim(30, "OSU-IB (32Gbps)-1disk", "10GigE-1disk", 0.38)
-        claim(30, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.13)
-        claim(40, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.17)
-        claim(40, "OSU-IB (32Gbps)-2disks", "IPoIB (32Gbps)-2disks", 0.48)
-    elif fig.figure == "fig4b":
-        claim(100, "OSU-IB (32Gbps)-1disk", "HadoopA-IB (32Gbps)-1disk", 0.21)
-        claim(100, "OSU-IB (32Gbps)-1disk", "IPoIB (32Gbps)-1disk", 0.32)
-        claim(100, "OSU-IB (32Gbps)-2disks", "HadoopA-IB (32Gbps)-2disks", 0.31)
-        claim(100, "OSU-IB (32Gbps)-2disks", "IPoIB (32Gbps)-2disks", 0.39)
-    elif fig.figure == "fig5":
-        claim(100, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.07)
-        claim(100, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.41)
-    elif fig.figure == "fig6a":
-        claim(20, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.38)
-        claim(20, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.26)
-    elif fig.figure == "fig6b":
-        claim(40, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.32)
-        claim(40, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.27)
-    elif fig.figure == "fig7":
-        claim(15, "OSU-IB (32Gbps)", "HadoopA-IB (32Gbps)", 0.22)
-        claim(15, "OSU-IB (32Gbps)", "IPoIB (32Gbps)", 0.46)
-    elif fig.figure == "fig8":
-        try:
-            v = fig.improvement(
-                20, "OSU-IB (With Caching Enabled)", "OSU-IB (Without Caching Enabled)"
-            )
-            out.append(
-                f"fig8 @20GB: caching on vs off: measured {v:+.1%}, paper +18.4%"
-            )
-        except KeyError:
-            pass
     return out
 
 
@@ -75,6 +47,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run every figure")
     parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep-point worker processes (0 = all CPUs; default: "
+        "REPRO_SWEEP_WORKERS or serial); results are bit-identical",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each figure run and print the top hotspots to stderr",
+    )
     parser.add_argument("--out", type=Path, help="directory for .txt tables")
     parser.add_argument(
         "--json",
@@ -89,7 +73,10 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in names:
         t0 = time.time()
-        fig = ALL_FIGURES[name](scale=args.scale, seed=args.seed)
+        with maybe_profile(name, enabled=args.profile):
+            fig = ALL_FIGURES[name](
+                scale=args.scale, seed=args.seed, workers=args.workers
+            )
         table = fig.render()
         claims = _claims(fig)
         body = table + "\n" + "\n".join(claims) + "\n"

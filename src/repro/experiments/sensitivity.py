@@ -20,6 +20,7 @@ from typing import Any
 from repro.cluster.presets import westmere_cluster
 from repro.mapreduce.driver import run_job
 from repro.mapreduce.job import JobConf, sort_job, terasort_job
+from repro.parallel import SweepExecutor, SweepPoint
 
 __all__ = ["SensitivityRow", "sweep_jobconf", "render_sweep"]
 
@@ -47,6 +48,30 @@ def _reference_conf(
     raise KeyError(f"unknown benchmark {benchmark!r}")
 
 
+def _sweep_point(
+    parameter: str,
+    value: Any,
+    benchmark: str,
+    engine: str,
+    size_bytes: float,
+    n_nodes: int,
+    n_disks: int,
+    node_kind: str,
+    fabric: str,
+    seed: int,
+) -> float:
+    """One sweep value's execution time (module-level: spawn-safe)."""
+    conf = _reference_conf(benchmark, engine, size_bytes, n_nodes)
+    conf = conf.scaled(**{parameter: value})
+    result = run_job(
+        westmere_cluster(n_nodes, n_disks=n_disks, node_kind=node_kind),
+        fabric,
+        conf,
+        seed=seed,
+    )
+    return result.execution_time
+
+
 def sweep_jobconf(
     parameter: str,
     values: list[Any],
@@ -58,32 +83,50 @@ def sweep_jobconf(
     node_kind: str = "compute",
     fabric: str = "ipoib",
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[SensitivityRow]:
-    """Sweep one :class:`JobConf` field; returns a row per value."""
+    """Sweep one :class:`JobConf` field; returns a row per value.
+
+    Points are independent seeded runs fanned across ``workers``
+    processes (see :mod:`repro.parallel`); the rows — including the
+    first-value-relative deltas — are bit-identical for any worker
+    count.  Unknown parameters surface as the underlying ``scaled()``
+    error, wrapped per point.
+    """
     if not values:
         raise ValueError("need at least one value to sweep")
-    rows: list[SensitivityRow] = []
-    first_time: float | None = None
-    for value in values:
-        conf = _reference_conf(benchmark, engine, size_bytes, n_nodes)
-        conf = conf.scaled(**{parameter: value})
-        result = run_job(
-            westmere_cluster(n_nodes, n_disks=n_disks, node_kind=node_kind),
-            fabric,
-            conf,
-            seed=seed,
+    if benchmark not in ("terasort", "sort"):
+        raise KeyError(f"unknown benchmark {benchmark!r}")
+    points = [
+        SweepPoint(
+            _sweep_point,
+            args=(
+                parameter,
+                value,
+                benchmark,
+                engine,
+                size_bytes,
+                n_nodes,
+                n_disks,
+                node_kind,
+                fabric,
+                seed,
+            ),
+            key=(parameter, value),
         )
-        if first_time is None:
-            first_time = result.execution_time
-        rows.append(
-            SensitivityRow(
-                parameter=parameter,
-                value=value,
-                execution_time=result.execution_time,
-                delta_vs_first=result.execution_time / first_time - 1.0,
-            )
+        for value in values
+    ]
+    times = SweepExecutor(workers).run(points)
+    first_time = times[0]
+    return [
+        SensitivityRow(
+            parameter=parameter,
+            value=value,
+            execution_time=t,
+            delta_vs_first=t / first_time - 1.0,
         )
-    return rows
+        for value, t in zip(values, times)
+    ]
 
 
 def render_sweep(rows: list[SensitivityRow]) -> str:

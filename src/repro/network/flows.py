@@ -314,41 +314,77 @@ class FlowNetwork:
         All collections are insertion-ordered for determinism; restricted
         to one component this performs the exact same arithmetic, in the
         same order, as a global pass does for that component's flows.
+
+        The level loop runs over flat index arrays rather than dicts of
+        objects: links and flows are numbered once up front (first-seen
+        order — exactly the old dict insertion order), per-link member
+        lists are precomputed in each link's admission order, and the
+        residual/unfixed-count vectors are plain lists.  The bottleneck
+        scan per level then touches two Python lists instead of a dict of
+        Link objects, and fixing a flow walks precomputed index lists —
+        the same float operations in the same order as before (shares are
+        ``residual / n`` on identical residual sequences; the clamp
+        ``max(0.0, r - share)`` keeps its bit pattern), so rates stay
+        bit-identical to the reference oracle.
         """
-        unfixed: dict[Flow, None] = dict.fromkeys(flows)
-        links: dict[Link, None] = {}
+        eps = _EPSILON_RATE
+        link_index: dict[Link, int] = {}
+        link_list: list[Link] = []
+        flow_links: list[list[int]] = []
         for flow in flows:
             flow._rate = 0.0
+            idxs = []
             for link in flow.links:
-                links[link] = None
-        residual: dict[Link, float] = {}
-        link_unfixed: dict[Link, int] = {}
-        for link in links:
-            residual[link] = link.capacity
-            link_unfixed[link] = sum(1 for f in link.flows if f in unfixed)
+                li = link_index.get(link)
+                if li is None:
+                    li = link_index[link] = len(link_list)
+                    link_list.append(link)
+                idxs.append(li)
+            flow_links.append(idxs)
 
-        while unfixed:
+        in_sweep = {flow: fi for fi, flow in enumerate(flows)}
+        residual = [link.capacity for link in link_list]
+        # Per-link members (component-local flow indices) in the link's own
+        # admission order — the order the old code rescanned per level.
+        members: list[list[int]] = [
+            [fi for f in link.flows if (fi := in_sweep.get(f)) is not None]
+            for link in link_list
+        ]
+        unfixed_count = [len(m) for m in members]
+
+        n_links = len(link_list)
+        remaining = len(flows)
+        fixed = bytearray(remaining)
+        rates = [0.0] * remaining
+        inf = float("inf")
+        while remaining:
             # Smallest fair share across links that still carry unfixed flows.
-            bottleneck: Link | None = None
-            best_share = float("inf")
-            for link in links:
-                n = link_unfixed[link]
+            bottleneck = -1
+            best_share = inf
+            for li in range(n_links):
+                n = unfixed_count[li]
                 if n <= 0:
                     continue
-                share = residual[link] / n
+                share = residual[li] / n
                 if share < best_share:
                     best_share = share
-                    bottleneck = link
-            if bottleneck is None:  # pragma: no cover - defensive
+                    bottleneck = li
+            if bottleneck < 0:  # pragma: no cover - defensive
                 break
-            if best_share < _EPSILON_RATE:
-                best_share = _EPSILON_RATE
-            for flow in [f for f in bottleneck.flows if f in unfixed]:
-                flow._rate = best_share
-                del unfixed[flow]
-                for link in flow.links:
-                    residual[link] = max(0.0, residual[link] - best_share)
-                    link_unfixed[link] -= 1
+            if best_share < eps:
+                best_share = eps
+            for fi in members[bottleneck]:
+                if fixed[fi]:
+                    continue
+                fixed[fi] = 1
+                rates[fi] = best_share
+                remaining -= 1
+                for li in flow_links[fi]:
+                    r = residual[li] - best_share
+                    residual[li] = r if r > 0.0 else 0.0
+                    unfixed_count[li] -= 1
+        for flow, rate in zip(flows, rates):
+            flow._rate = rate
 
     # -- incremental mode ----------------------------------------------------
 

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.report import FigureResult
 
-__all__ = ["bench_payload", "write_bench_json"]
+__all__ = ["bench_payload", "write_bench_json", "write_json_atomic"]
 
 #: Series whose improvement over every sibling the payload reports.
 _OURS_MARKER = "OSU-IB"
@@ -57,13 +58,38 @@ def bench_payload(fig: "FigureResult", scale: float | None = None) -> dict[str, 
     return payload
 
 
+def write_json_atomic(payload: Any, path: str | os.PathLike[str]) -> str:
+    """Write JSON to ``path`` atomically (temp file + ``os.replace``).
+
+    Concurrent writers — parallel sweep workers, benchmark shards
+    sharing one ``REPRO_BENCH_OUT`` directory — can race on the same
+    document; the rename guarantees a reader never observes interleaved
+    or truncated JSON, only one writer's complete output (last replace
+    wins).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def write_bench_json(
     fig: "FigureResult", out_dir: str | os.PathLike[str] = ".", scale: float | None = None
 ) -> str:
     """Write ``BENCH_<figure>.json`` into ``out_dir``; returns the path."""
-    os.makedirs(os.fspath(out_dir), exist_ok=True)
     path = os.path.join(os.fspath(out_dir), f"BENCH_{fig.figure}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(bench_payload(fig, scale=scale), fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    return write_json_atomic(bench_payload(fig, scale=scale), path)

@@ -558,10 +558,22 @@ class Simulator:
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
 
+        # Hot loop.  This is step()/peek() inlined so each event pays one
+        # heap pop and one head inspection instead of two full peek()
+        # calls plus a method dispatch.  ``self._queue`` must be re-read
+        # every iteration: a callback may cancel events and trigger
+        # _note_cancel() compaction, which REPLACES the queue list.
+        heappop = heapq.heappop
+        inf = float("inf")
         while self._queue or self._deferred:
-            if stop_event is not None and stop_event.processed:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            nxt = self.peek()
+            queue = self._queue
+            # Purge cancelled entries surfacing at the head (peek()).
+            while queue and queue[0][3]._cancelled:
+                heappop(queue)
+                self._cancel_pending -= 1
+            nxt = queue[0][0] if queue else inf
             if self._deferred and nxt > self._now:
                 # The current timestamp is quiescent: run end-of-timestamp
                 # hooks before the clock moves (they may schedule events).
@@ -570,9 +582,16 @@ class Simulator:
             if nxt > stop_at:
                 self._now = stop_at
                 break
-            if nxt == float("inf"):
+            if not queue:
                 break  # calendar emptied by the cancelled-entry purge
-            self.step()
+            time, _prio, _seq, event = heappop(queue)
+            self._now = time
+            self._event_count += 1
+            callbacks, event.callbacks = event.callbacks, None
+            for fn in callbacks:  # type: ignore[union-attr]
+                fn(event)
+            if not event._ok and not event._defused:
+                raise event._value
         else:
             if stop_at != float("inf"):
                 self._now = stop_at

@@ -1,0 +1,67 @@
+"""Lightweight cProfile hooks so perf PRs start from data, not guesses.
+
+Two entry points share one switch:
+
+* ``python -m repro.experiments.run --profile ...`` wraps each figure
+  run and prints the top cumulative hotspots to stderr;
+* ``REPRO_PROFILE=1`` does the same around every ``benchmarks/`` test
+  (autouse fixture in ``benchmarks/conftest.py``).
+
+``REPRO_PROFILE_TOP`` bounds the rows printed (default 20);
+``REPRO_PROFILE_SORT`` picks the pstats sort key (default
+``cumulative``).  Profiling only observes the in-process portion of a
+sweep — worker processes run unprofiled, so profile with ``workers=1``
+when hunting simulator hot paths.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO
+
+__all__ = ["maybe_profile", "profile_enabled"]
+
+
+def profile_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` requests profiling (unset/0/empty: off)."""
+    return os.environ.get("REPRO_PROFILE", "").strip() not in ("", "0", "false")
+
+
+@contextmanager
+def maybe_profile(
+    label: str,
+    enabled: bool | None = None,
+    top: int | None = None,
+    stream: IO[str] | None = None,
+):
+    """Profile the enclosed block and print the hottest functions.
+
+    ``enabled=None`` defers to :func:`profile_enabled`; when off, the
+    context is free (no profiler object, no overhead).
+    """
+    if enabled is None:
+        enabled = profile_enabled()
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        if top is None:
+            top = int(os.environ.get("REPRO_PROFILE_TOP", "20"))
+        sort = os.environ.get("REPRO_PROFILE_SORT", "cumulative")
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats(sort).print_stats(top)
+        out = stream if stream is not None else sys.stderr
+        out.write(f"\n[profile:{label}] top {top} by {sort}\n")
+        out.write(buf.getvalue())
+        out.flush()

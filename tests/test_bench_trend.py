@@ -2,6 +2,7 @@
 
 import importlib.util
 import json
+import sys
 from pathlib import Path
 
 import pytest
@@ -9,6 +10,7 @@ import pytest
 _TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_trend.py"
 spec = importlib.util.spec_from_file_location("bench_trend", _TOOL)
 bench_trend = importlib.util.module_from_spec(spec)
+sys.modules["bench_trend"] = bench_trend  # dataclasses resolve via sys.modules
 spec.loader.exec_module(bench_trend)
 
 
@@ -125,6 +127,129 @@ def test_update_baselines_prunes_noise(dirs):
     assert "wall_seconds" not in committed and "wall_speedup" not in committed
     problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
     assert problems == []
+
+
+def _slowdown_doc(benchmark: str, rdma: float, scale: float = 0.05) -> dict:
+    return {
+        "benchmark": benchmark,
+        "figure": "fig4a",
+        "scale": scale,
+        "slowdowns": {"rdma": rdma, "ipoib": rdma + 0.1},
+    }
+
+
+def _sweep_doc(
+    speedup: float,
+    fingerprints_equal: bool = True,
+    cpus: int = 4,
+    workers: int = 4,
+    scale: float = 0.05,
+) -> dict:
+    return {
+        "benchmark": "sweep",
+        "figure": "fig4a",
+        "scale": scale,
+        "speedup": speedup,
+        "cpus": cpus,
+        "workers": workers,
+        "points": 24,
+        "fingerprints_equal": fingerprints_equal,
+        "serial_seconds": 4.0,
+        "parallel_seconds": 4.0 / speedup,
+    }
+
+
+def test_gate_registry_covers_every_non_figure_benchmark():
+    assert set(bench_trend.GATES) == {
+        "simperf",
+        "faults",
+        "skew",
+        "integrity",
+        "control",
+        "sweep",
+    }
+    kinds = {gate.kind for gate in bench_trend.GATES.values()}
+    assert kinds <= set(bench_trend._GATE_KINDS)
+
+
+def test_slowdown_gates_are_registry_driven(dirs):
+    fresh, base = dirs
+    for benchmark in ("faults", "skew", "integrity"):
+        name = f"BENCH_{benchmark}.json"
+        _write(base, name, _slowdown_doc(benchmark, 1.5))
+        _write(fresh, name, _slowdown_doc(benchmark, 1.55))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+    # A clear regression in any one of them fails through the same gate.
+    _write(fresh, "BENCH_integrity.json", _slowdown_doc("integrity", 2.5))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and all(
+        "BENCH_integrity.json" in p and "corruption slowdown rose" in p
+        for p in problems
+    )
+
+
+def test_control_floor_is_absolute(dirs):
+    fresh, base = dirs
+    doc = {"benchmark": "control", "figure": "fig4a", "scale": 0.05, "speedup": 1.02}
+    _write(base, "BENCH_control.json", doc)
+    _write(fresh, "BENCH_control.json", {**doc, "speedup": 0.97})
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "lost to the best static" in problems[0]
+
+
+def test_sweep_gate_passes_when_identical_and_fast(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_sweep.json", _sweep_doc(3.0))
+    _write(fresh, "BENCH_sweep.json", _sweep_doc(3.4))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+
+
+def test_sweep_gate_fails_on_fingerprint_mismatch(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_sweep.json", _sweep_doc(3.0))
+    # Even a *fast* run fails if parallel results diverged from serial.
+    _write(fresh, "BENCH_sweep.json", _sweep_doc(5.0, fingerprints_equal=False))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "fingerprints_equal" in problems[0]
+
+
+def test_sweep_gate_fails_on_lost_speedup(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_sweep.json", _sweep_doc(3.5))
+    _write(fresh, "BENCH_sweep.json", _sweep_doc(1.2))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "speedup fell" in problems[0]
+
+
+def test_sweep_gate_skips_speedup_on_undersized_machine(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_sweep.json", _sweep_doc(3.5))
+    # 1-CPU box: a speedup "regression" is the machine, not the code ...
+    _write(fresh, "BENCH_sweep.json", _sweep_doc(0.9, cpus=1, workers=4))
+    problems, notes = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems == []
+    assert any("speedup not compared" in n for n in notes)
+    # ... but bit-identity is enforced regardless of the CPU count.
+    _write(
+        fresh,
+        "BENCH_sweep.json",
+        _sweep_doc(0.9, fingerprints_equal=False, cpus=1, workers=4),
+    )
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
+    assert problems and "fingerprints_equal" in problems[0]
+
+
+def test_sweep_baseline_prunes_machine_dependent_fields(dirs):
+    fresh, base = dirs
+    _write(fresh, "BENCH_sweep.json", _sweep_doc(3.2))
+    bench_trend.update_baselines(fresh, base)
+    committed = json.loads((base / "BENCH_sweep.json").read_text())
+    assert committed["speedup"] == 3.2
+    assert committed["fingerprints_equal"] is True
+    for noise in ("cpus", "serial_seconds", "parallel_seconds"):
+        assert noise not in committed
 
 
 def test_cli_exit_codes(dirs, capsys):

@@ -3,29 +3,32 @@
 
 Compares freshly produced ``BENCH_*.json`` documents (written by the
 ``benchmarks/`` suite, see ``REPRO_BENCH_OUT``) against the baselines
-committed under ``benchmarks/baselines/``:
+committed under ``benchmarks/baselines/``.
 
-* **figure benchmarks** — every OSU-IB improvement factor must match the
-  baseline within ``--tolerance`` (absolute, on the fractional
-  improvement).  A drift means the reproduced figure changed shape, which
-  is a modelling regression unless the baseline is deliberately updated.
-* **simperf** — the simulator-perf ratios (``rerate_work_reduction``,
-  ``event_reduction``) must not fall below baseline by more than the
-  tolerance (one-sided: getting faster is fine, losing the incremental
-  speedup is a regression).
-* **faults** — each engine's chaos slowdown (faulty/clean runtime under
-  the standard fault plan) must not exceed the baseline by more than
-  ``_FAULTS_TOLERANCE`` (one-sided: recovering faster is fine; a costlier
-  recovery path is a regression).
-* **skew** — each engine's low-memory slowdown (skewed TeraSort with a
-  0.25x heap and the backpressure/spill knobs on, vs unconstrained) must
-  not exceed the baseline by more than ``_SKEW_TOLERANCE`` (one-sided:
-  degrading more gracefully is fine; a costlier spill path is a
-  regression).
-* **integrity** — each engine's corruption slowdown (TeraSort under the
-  standard silent-corruption plan vs clean) must not exceed the baseline
-  by more than ``_INTEGRITY_TOLERANCE`` (one-sided: cheaper detection /
-  recovery is fine; a costlier verify-and-recover path is a regression).
+Every non-figure benchmark is gated by one entry in the :data:`GATES`
+registry — a declarative table of *gate kinds* instead of one bespoke
+compare function per benchmark:
+
+* ``min_ratios`` (simperf) — the named ratio keys must not fall below
+  baseline by more than the tolerance (one-sided: getting faster is
+  fine, losing the incremental speedup is a regression).
+* ``max_slowdowns`` (faults / skew / integrity) — each engine's
+  slowdown ratio must not exceed the baseline by more than the gate's
+  tolerance (one-sided: degrading more gracefully is fine).
+* ``min_speedup`` (control / sweep) — a headline ``speedup`` must not
+  fall below baseline by more than the tolerance, optionally with an
+  absolute ``floor`` no tolerance ever excuses (the control plane must
+  beat the best static knob) and ``require_true`` invariant keys (the
+  parallel sweep must stay bit-identical to serial).  Gates marked
+  ``cpu_aware`` skip the speedup comparison — with a note — when the
+  fresh document reports fewer CPUs than workers, because wall-clock
+  speedup on an undersized machine measures the machine, not the code;
+  the invariant keys are still enforced.
+
+Documents whose ``benchmark`` field has no registry entry fall back to
+the figure gate: every OSU-IB improvement factor must match the
+baseline within ``--tolerance`` (absolute, on the fractional
+improvement) — a drift means the reproduced figure changed shape.
 
 Comparisons are scale-matched: a document whose ``scale`` differs from
 the baseline's is skipped with a warning rather than mis-compared.
@@ -42,29 +45,88 @@ import argparse
 import json
 import os
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.05
 
-#: simperf ratio keys checked one-sidedly (below baseline - tol fails).
-_SIMPERF_RATIOS = ("rerate_work_reduction", "event_reduction")
 
-#: Absolute slack on chaos slowdowns (they are ratios around 1.5-2x and
-#: shift with any shuffle-timing change; only a clear regression fails).
-_FAULTS_TOLERANCE = 0.5
+@dataclass(frozen=True)
+class Gate:
+    """One benchmark's trend gate, interpreted by :func:`apply_gate`.
 
-#: Absolute slack on low-memory degradation slowdowns (ratios around
-#: 1-1.3x; shuffle-timing changes move them, only clear regressions fail).
-_SKEW_TOLERANCE = 0.4
+    ``tolerance=None`` means "use the CLI ``--tolerance``"; every other
+    field is meaningful only for the kinds documented above.
+    ``baseline_keys`` lists the payload keys (beyond ``benchmark`` /
+    ``figure`` / ``scale``) worth committing as a baseline — everything
+    else (wall-clock seconds and other machine-dependent noise) is
+    pruned by ``--update-baselines``.
+    """
 
-#: Absolute slack on corruption-recovery slowdowns (ratios around 1-1.5x;
-#: re-fetch / re-execution cost moves with any shuffle-timing change).
-_INTEGRITY_TOLERANCE = 0.3
+    kind: str  # "min_ratios" | "max_slowdowns" | "min_speedup"
+    tolerance: float | None = None
+    keys: tuple[str, ...] = ()  # min_ratios: the ratio keys
+    what: str = ""  # max_slowdowns: slowdown description
+    floor: float | None = None  # min_speedup: absolute floor
+    floor_message: str = ""
+    require_true: tuple[str, ...] = ()  # min_speedup: invariant keys
+    cpu_aware: bool = False  # min_speedup: skip when cpus < workers
+    baseline_keys: tuple[str, ...] = ()
 
-#: Absolute slack on the control-plane speedup (best-static / controller,
-#: around 1.1x).  The controller-wins floor (speedup >= 1) is absolute:
-#: no tolerance ever excuses the adaptive loop losing to a static knob.
-_CONTROL_TOLERANCE = 0.15
+
+#: ``benchmark`` field -> trend gate.  Adding a benchmark to the trend
+#: check is one table entry here plus a committed baseline document.
+GATES: dict[str, Gate] = {
+    "simperf": Gate(
+        kind="min_ratios",
+        keys=("rerate_work_reduction", "event_reduction"),
+        baseline_keys=("rerate_work_reduction", "event_reduction"),
+    ),
+    # Chaos slowdowns sit around 1.5-2x and shift with any
+    # shuffle-timing change; only a clear regression fails.
+    "faults": Gate(
+        kind="max_slowdowns",
+        tolerance=0.5,
+        what="chaos",
+        baseline_keys=("slowdowns",),
+    ),
+    # Low-memory degradation, around 1-1.3x.
+    "skew": Gate(
+        kind="max_slowdowns",
+        tolerance=0.4,
+        what="low-memory",
+        baseline_keys=("slowdowns",),
+    ),
+    # Corruption-recovery, around 1-1.5x.
+    "integrity": Gate(
+        kind="max_slowdowns",
+        tolerance=0.3,
+        what="corruption",
+        baseline_keys=("slowdowns",),
+    ),
+    # Best-static / controller, around 1.1x; the >= 1 floor is absolute.
+    "control": Gate(
+        kind="min_speedup",
+        tolerance=0.15,
+        floor=1.0,
+        floor_message="controller lost to the best static setting",
+        baseline_keys=(
+            "speedup",
+            "best_static_seconds",
+            "controller_seconds",
+            "static",
+        ),
+    ),
+    # Parallel sweep: bit-identity is absolute; the wall-clock speedup
+    # is compared only on machines with enough CPUs to host the workers.
+    "sweep": Gate(
+        kind="min_speedup",
+        tolerance=0.5,
+        require_true=("fingerprints_equal",),
+        cpu_aware=True,
+        baseline_keys=("speedup", "workers", "points", "fingerprints_equal"),
+    ),
+}
 
 
 def _load(path: Path) -> dict:
@@ -101,9 +163,11 @@ def compare_figure(name: str, fresh: dict, base: dict, tolerance: float) -> list
     return problems
 
 
-def compare_simperf(name: str, fresh: dict, base: dict, tolerance: float) -> list[str]:
+def _gate_min_ratios(
+    name: str, fresh: dict, base: dict, gate: Gate, tolerance: float
+) -> tuple[list[str], list[str]]:
     problems = []
-    for key in _SIMPERF_RATIOS:
+    for key in gate.keys:
         if key not in base:
             continue
         if key not in fresh:
@@ -114,13 +178,12 @@ def compare_simperf(name: str, fresh: dict, base: dict, tolerance: float) -> lis
                 f"{name}: {key} fell to {fresh[key]:.3f} from baseline "
                 f"{base[key]:.3f} (tolerance {tolerance})"
             )
-    return problems
+    return problems, []
 
 
-def _compare_slowdowns(
-    name: str, fresh: dict, base: dict, tolerance: float, what: str
-) -> list[str]:
-    """One-sided per-engine slowdown gate shared by faults and skew."""
+def _gate_max_slowdowns(
+    name: str, fresh: dict, base: dict, gate: Gate, tolerance: float
+) -> tuple[list[str], list[str]]:
     problems = []
     want = base.get("slowdowns", {})
     got = fresh.get("slowdowns", {})
@@ -132,46 +195,68 @@ def _compare_slowdowns(
             continue
         if got[engine] > slowdown + tolerance:
             problems.append(
-                f"{name}: {engine} {what} slowdown rose to {got[engine]:.2f}x "
-                f"from baseline {slowdown:.2f}x (tolerance {tolerance})"
+                f"{name}: {engine} {gate.what} slowdown rose to "
+                f"{got[engine]:.2f}x from baseline {slowdown:.2f}x "
+                f"(tolerance {tolerance})"
             )
-    return problems
+    return problems, []
 
 
-def compare_faults(name: str, fresh: dict, base: dict) -> list[str]:
-    return _compare_slowdowns(name, fresh, base, _FAULTS_TOLERANCE, "chaos")
-
-
-def compare_skew(name: str, fresh: dict, base: dict) -> list[str]:
-    return _compare_slowdowns(name, fresh, base, _SKEW_TOLERANCE, "low-memory")
-
-
-def compare_integrity(name: str, fresh: dict, base: dict) -> list[str]:
-    return _compare_slowdowns(name, fresh, base, _INTEGRITY_TOLERANCE, "corruption")
-
-
-def compare_control(name: str, fresh: dict, base: dict) -> list[str]:
-    """One-sided controller-beats-best-static gate (winning more is fine)."""
-    problems = []
+def _gate_min_speedup(
+    name: str, fresh: dict, base: dict, gate: Gate, tolerance: float
+) -> tuple[list[str], list[str]]:
+    problems: list[str] = []
+    notes: list[str] = []
+    for key in gate.require_true:
+        if not fresh.get(key):
+            problems.append(
+                f"{name}: {key} is {fresh.get(key)!r} (must hold unconditionally)"
+            )
     want = base.get("speedup")
     got = fresh.get("speedup")
     if want is None:
         problems.append(f"{name}: baseline has no speedup")
-        return problems
+        return problems, notes
     if got is None:
         problems.append(f"{name}: missing speedup")
-        return problems
-    if got < 1.0:
+        return problems, notes
+    if gate.cpu_aware:
+        cpus, workers = fresh.get("cpus"), fresh.get("workers")
+        if cpus is not None and workers is not None and cpus < workers:
+            notes.append(
+                f"{name}: speedup not compared ({cpus} CPUs < {workers} "
+                f"workers; wall-clock would measure the machine)"
+            )
+            return problems, notes
+    if gate.floor is not None and got < gate.floor:
         problems.append(
-            f"{name}: controller lost to the best static setting "
-            f"(speedup {got:.3f} < 1.0)"
+            f"{name}: {gate.floor_message or 'below absolute floor'} "
+            f"(speedup {got:.3f} < {gate.floor})"
         )
-    elif got < want - _CONTROL_TOLERANCE:
+    elif got < want - tolerance:
         problems.append(
-            f"{name}: controller speedup fell to {got:.3f} from baseline "
-            f"{want:.3f} (tolerance {_CONTROL_TOLERANCE})"
+            f"{name}: speedup fell to {got:.3f} from baseline "
+            f"{want:.3f} (tolerance {tolerance})"
         )
-    return problems
+    return problems, notes
+
+
+_GATE_KINDS = {
+    "min_ratios": _gate_min_ratios,
+    "max_slowdowns": _gate_max_slowdowns,
+    "min_speedup": _gate_min_speedup,
+}
+
+
+def apply_gate(
+    name: str, fresh: dict, base: dict, cli_tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Run the registry gate for one document pair; (problems, notes)."""
+    gate = GATES.get(base.get("benchmark", ""))
+    if gate is None:
+        return compare_figure(name, fresh, base, cli_tolerance), []
+    tolerance = cli_tolerance if gate.tolerance is None else gate.tolerance
+    return _GATE_KINDS[gate.kind](name, fresh, base, gate, tolerance)
 
 
 def check(
@@ -200,18 +285,9 @@ def check(
                 f"baseline {base.get('scale')}), skipped"
             )
             continue
-        if base.get("benchmark") == "simperf":
-            problems += compare_simperf(name, fresh, base, tolerance)
-        elif base.get("benchmark") == "faults":
-            problems += compare_faults(name, fresh, base)
-        elif base.get("benchmark") == "skew":
-            problems += compare_skew(name, fresh, base)
-        elif base.get("benchmark") == "integrity":
-            problems += compare_integrity(name, fresh, base)
-        elif base.get("benchmark") == "control":
-            problems += compare_control(name, fresh, base)
-        else:
-            problems += compare_figure(name, fresh, base, tolerance)
+        gate_problems, gate_notes = apply_gate(name, fresh, base, tolerance)
+        problems += gate_problems
+        notes += gate_notes
         notes.append(f"{name}: compared at scale {base.get('scale')}")
     for fresh_path in sorted(bench_dir.glob("BENCH_*.json")):
         if not (baseline_dir / fresh_path.name).exists():
@@ -221,22 +297,9 @@ def check(
 
 def prune_baseline(doc: dict) -> dict:
     """The subset of a benchmark document worth committing as a baseline."""
-    if doc.get("benchmark") == "simperf":
-        keep = ("benchmark", "figure", "scale") + _SIMPERF_RATIOS
-        return {key: doc[key] for key in keep if key in doc}
-    if doc.get("benchmark") in ("faults", "skew", "integrity"):
-        keep = ("benchmark", "figure", "scale", "slowdowns")
-        return {key: doc[key] for key in keep if key in doc}
-    if doc.get("benchmark") == "control":
-        keep = (
-            "benchmark",
-            "figure",
-            "scale",
-            "speedup",
-            "best_static_seconds",
-            "controller_seconds",
-            "static",
-        )
+    gate = GATES.get(doc.get("benchmark", ""))
+    if gate is not None:
+        keep = ("benchmark", "figure", "scale") + gate.baseline_keys
         return {key: doc[key] for key in keep if key in doc}
     return {
         "figure": doc.get("figure"),
