@@ -1,0 +1,165 @@
+"""Straggler benchmark: LATE speculation vs letting the sick node drag.
+
+Runs a TeraSort on the OSU-IB engine with one degraded node — the
+``node02`` CPU serves 6x slow, its disks 4x slow and its link carries a
+quarter of its bandwidth for essentially the whole job (the degradation
+fault entries from ``repro.faults``, i.e. a straggler that is *slow*, not
+dead).  The same seeded job runs twice: once with speculation off (the
+paper's tuned setup) and once with LATE-style speculative execution on
+for both maps and reduces.
+
+The claim under test is Hadoop's classic straggler-mitigation one: with a
+degraded node in the cluster, backup attempts on healthy nodes beat
+waiting for the slow originals, and commit-once keeps the output
+byte-identical.  Checks:
+
+* both runs commit identical output bytes (``reduce.committed_output_bytes``
+  — losers' partials never count);
+* the speculative run launched backups and won races;
+* speculation beats no-speculation (``speedup >= 1``).
+
+Exports ``BENCH_stragglers.json`` (both timings, speedup, speculation
+activity counters) so ``tools/bench_trend.py`` gates the
+speculation-beats-no-speculation margin across PRs (one-sided: winning
+by more is fine).
+"""
+
+import os
+
+from repro.cluster.presets import westmere_cluster
+from repro.faults import DiskSlowdown, FaultPlan, LinkDegrade, NodeSlowdown
+from repro.mapreduce.driver import run_job
+from repro.mapreduce.job import terasort_job
+from repro.obs.export import write_json_atomic
+from repro.parallel import SweepExecutor, SweepPoint
+
+from .conftest import bench_scale
+
+GB = 1 << 30
+MB = 1 << 20
+
+N_NODES = 3
+N_REDUCES = 6
+SEED = 3
+ENGINE = "rdma"
+
+#: One degraded node: slow CPU, slow disks, a quartered link — windows
+#: long enough to cover the whole benchmark job.
+SICK_NODE = "node02"
+SLOWDOWN = FaultPlan(
+    slowdowns=(NodeSlowdown(at=1.0, node=SICK_NODE, duration=400.0, factor=6.0),),
+    disk_slowdowns=(
+        DiskSlowdown(at=1.0, node=SICK_NODE, duration=400.0, factor=4.0),
+    ),
+    link_degrades=(LinkDegrade(at=1.0, node=SICK_NODE, duration=400.0, factor=4.0),),
+    name="bench-slowdown",
+)
+
+#: LATE knobs: scan every second, back up once an attempt projects past
+#: 1.3x the completed median (both maps and reduces).
+SPECULATION = dict(
+    speculative_execution=True,
+    speculative_reduces=True,
+    speculative_threshold=1.3,
+    speculative_interval=1.0,
+)
+
+#: Speculator activity exported alongside the timings.
+_EXPORT_COUNTERS = (
+    "speculation.scans",
+    "speculation.map_backups",
+    "speculation.reduce_backups",
+    "speculation.wins",
+    "speculation.losers_killed",
+    "speculation.wasted_output_bytes",
+    "speculation.capped",
+    "speculation.no_slot",
+    "map.speculative_launched",
+    "reduce.speculative_launched",
+)
+
+
+def _run(data_bytes: float, **extra):
+    # 256 MB blocks keep maps multi-spill so the progress estimator sees
+    # intermediate milestones (single-spill maps report 0 -> 1 in one step).
+    conf = terasort_job(
+        data_bytes,
+        N_NODES,
+        ENGINE,
+        block_bytes=256 * MB,
+        n_reduces=N_REDUCES,
+        fault_plan=SLOWDOWN,
+        **extra,
+    )
+    return run_job(westmere_cluster(N_NODES), "ipoib", conf, seed=SEED)
+
+
+def _point(data_bytes: float, speculate: bool):
+    """One run (module-level: spawn-safe for the sweep executor)."""
+    r = _run(data_bytes, **(SPECULATION if speculate else {}))
+    return (
+        r.execution_time,
+        round(r.counters["reduce.committed_output_bytes"]),
+        {key: r.counters.get(key, 0.0) for key in _EXPORT_COUNTERS},
+    )
+
+
+def _duel(data_bytes: float) -> dict:
+    # The two runs are independent seeded jobs — fan them through the
+    # sweep executor (serial unless REPRO_SWEEP_WORKERS is set; results
+    # are bit-identical either way).
+    points = [
+        SweepPoint(_point, args=(data_bytes, speculate), key=speculate)
+        for speculate in (False, True)
+    ]
+    (off_secs, off_bytes, _), (on_secs, on_bytes, counters) = (
+        SweepExecutor().run(points)
+    )
+    return {
+        "no_speculation_seconds": off_secs,
+        "speculation_seconds": on_secs,
+        "speedup": off_secs / on_secs,
+        "output_bytes_agree": off_bytes == on_bytes,
+        "committed_output_bytes": on_bytes,
+        "counters": counters,
+    }
+
+
+def test_speculation_beats_no_speculation(benchmark):
+    # Default scale matches the CI bench job (REPRO_BENCH_SCALE=0.05):
+    # the speculation margin is scale-sensitive (smaller jobs finish
+    # before the estimator has a completed-task median to rank against),
+    # so the gate is pinned where the baseline is.
+    scale = bench_scale(0.05)
+    data_bytes = scale * 20 * GB
+
+    result = benchmark.pedantic(lambda: _duel(data_bytes), rounds=1, iterations=1)
+
+    assert result["output_bytes_agree"], (
+        "speculation changed the committed output bytes"
+    )
+    c = result["counters"]
+    backups = c["speculation.map_backups"] + c["speculation.reduce_backups"]
+    assert backups > 0, "the degraded node never provoked a backup attempt"
+    assert c["speculation.wins"] > 0, "no backup attempt ever won its race"
+    assert c["speculation.losers_killed"] > 0, (
+        "no losing attempt was killed (commit-once broke)"
+    )
+    assert result["speedup"] >= 1.0, (
+        f"speculation ({result['speculation_seconds']:.2f}s) lost to "
+        f"no-speculation ({result['no_speculation_seconds']:.2f}s)"
+    )
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "benchmark": "stragglers",
+        "figure": "stragglers",
+        "scale": scale,
+        "engine": ENGINE,
+        "sick_node": SICK_NODE,
+        "speculative_threshold": SPECULATION["speculative_threshold"],
+        "speculative_interval": SPECULATION["speculative_interval"],
+        **result,
+    }
+    write_json_atomic(payload, os.path.join(out_dir, "BENCH_stragglers.json"))

@@ -56,6 +56,9 @@ class Node:
         self.fs = LocalFileSystem(
             sim, list(spec.disks), node_name=spec.name, chunk_bytes=chunk_bytes
         )
+        #: Set by ``FaultInjector.bind`` only when a NodeSlowdown window
+        #: names this node; everywhere else compute pays one None test.
+        self.faults = None
 
     @property
     def ram_bytes(self) -> float:
@@ -69,12 +72,18 @@ class Node:
     def compute(self, seconds: float, priority: float = 0.0):
         """Generator: hold one core for ``seconds`` of nominal work.
 
-        Stragglers (``cpu_speed < 1``) take proportionally longer.
+        Stragglers (``cpu_speed < 1``) take proportionally longer, as do
+        active :class:`~repro.faults.NodeSlowdown` windows (integrated
+        piecewise, so a compute spanning a window edge pays exactly the
+        degraded portion).
         """
         with self.cpu.request(priority) as req:
             yield req
             if seconds > 0:
-                yield self.sim.timeout(seconds / self.spec.cpu_speed)
+                delay = seconds / self.spec.cpu_speed
+                if self.faults is not None:
+                    delay = self.faults.cpu_delay(self.name, delay)
+                yield self.sim.timeout(delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -29,6 +29,12 @@ Fault kinds
   or stale served segments).  Unlike the hard faults above these do not
   fail the operation; they poison its result, and only the
   :mod:`repro.integrity` checksum layer notices and recovers.
+* :class:`NodeSlowdown` / :class:`LinkDegrade` / :class:`DiskSlowdown` —
+  *degradation* faults: nothing fails, the node just gets slow.  CPU
+  service times stretch, NIC capacity is cut without the port flapping,
+  disk requests take longer.  These are the straggler generators the
+  LATE speculator (:mod:`repro.mapreduce.speculation`) exists to defeat;
+  no retry or checksum machinery ever notices them.
 
 Everything is deterministic: plan times are fixed simulation timestamps
 and the only randomness (disk errors) comes from the cluster's seeded
@@ -49,18 +55,23 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "DiskCorruption",
+    "DiskSlowdown",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
+    "LinkDegrade",
     "LinkFlap",
     "NodeCrash",
+    "NodeSlowdown",
     "ResponderStall",
     "SegmentFault",
     "WireCorruption",
     "seeded_corruption_plan",
     "seeded_fault_plan",
+    "seeded_slowdown_plan",
     "standard_corruption_plan",
     "standard_fault_plan",
+    "standard_slowdown_plan",
 ]
 
 
@@ -154,6 +165,51 @@ class SegmentFault:
 
 
 @dataclass(frozen=True)
+class NodeSlowdown:
+    """The node's CPU runs ``factor``x slower during ``[at, at + duration)``.
+
+    Models a contended/overheating host: every ``Node.compute`` there
+    stretches by the product of the active slowdown windows.  Nothing
+    fails — the attempt just lags, which is what speculation must catch.
+    """
+
+    at: float
+    node: str
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """The node's NIC capacity is divided by ``factor`` during the window.
+
+    Unlike :class:`LinkFlap` the port stays *up*: transfers neither fail
+    nor tear down UCR endpoints, they just crawl.  Both the tx and rx
+    links re-rate at onset and again when the window closes.
+    """
+
+    at: float
+    node: str
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class DiskSlowdown:
+    """I/O service times on the node's disks multiply by ``factor``.
+
+    Models a sick drive (remapped sectors, internal retries).  ``disk``
+    scopes the entry to one local disk index (``-1`` = all disks).
+    """
+
+    at: float
+    node: str
+    duration: float
+    factor: float
+    disk: int = -1
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, hashable fault schedule (safe inside the frozen JobConf)."""
 
@@ -166,17 +222,25 @@ class FaultPlan:
     disk_corruptions: tuple[DiskCorruption, ...] = ()
     wire_corruptions: tuple[WireCorruption, ...] = ()
     segment_faults: tuple[SegmentFault, ...] = ()
+    #: Degradation entries (stragglers; mitigated by speculative execution).
+    slowdowns: tuple[NodeSlowdown, ...] = ()
+    link_degrades: tuple[LinkDegrade, ...] = ()
+    disk_slowdowns: tuple[DiskSlowdown, ...] = ()
     name: str = "plan"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.disk_error_rate < 1.0:
             raise ValueError(f"disk_error_rate {self.disk_error_rate} not in [0, 1)")
-        for fault in (*self.crashes, *self.flaps, *self.stalls):
+        degradations = (*self.slowdowns, *self.link_degrades, *self.disk_slowdowns)
+        for fault in (*self.crashes, *self.flaps, *self.stalls, *degradations):
             if fault.at < 0:
                 raise ValueError(f"fault time {fault.at} is negative: {fault}")
-        for window in (*self.flaps, *self.stalls):
+        for window in (*self.flaps, *self.stalls, *degradations):
             if window.duration <= 0:
                 raise ValueError(f"non-positive window duration: {window}")
+        for entry in degradations:
+            if entry.factor <= 0:
+                raise ValueError(f"non-positive degradation factor: {entry}")
         for entry in (*self.disk_corruptions, *self.wire_corruptions, *self.segment_faults):
             if not 0.0 <= entry.rate < 1.0:
                 raise ValueError(f"corruption rate {entry.rate} not in [0, 1): {entry}")
@@ -195,6 +259,7 @@ class FaultPlan:
             or self.stalls
             or self.disk_error_rate > 0
             or self.has_corruption
+            or self.has_degradation
         )
 
     @property
@@ -203,8 +268,13 @@ class FaultPlan:
             self.disk_corruptions or self.wire_corruptions or self.segment_faults
         )
 
+    @property
+    def has_degradation(self) -> bool:
+        return bool(self.slowdowns or self.link_degrades or self.disk_slowdowns)
+
     def nodes_referenced(self) -> set[str]:
-        """Every node any entry names — crashes, windows, *and* corruption.
+        """Every node any entry names — crashes, windows, corruption,
+        *and* degradation.
 
         ``FaultInjector`` validates this set against the cluster, so a
         typo'd node in any entry kind fails fast instead of silently
@@ -219,6 +289,9 @@ class FaultPlan:
                 *self.disk_corruptions,
                 *self.wire_corruptions,
                 *self.segment_faults,
+                *self.slowdowns,
+                *self.link_degrades,
+                *self.disk_slowdowns,
             )
         }
 
@@ -371,6 +444,95 @@ def seeded_corruption_plan(seed: int, node_names: Sequence[str]) -> FaultPlan:
     )
 
 
+def standard_slowdown_plan(
+    node_names: Sequence[str],
+    runtime_hint: float,
+    cpu_factor: float = 3.0,
+    disk_factor: float = 2.5,
+    link_factor: float = 4.0,
+    name: str = "slowdown",
+) -> FaultPlan:
+    """The straggler-benchmark schedule: one node gets sick, nothing fails.
+
+    The last node's CPU and disks degrade from 5% of the run almost to the
+    end, and its NIC loses most of its bandwidth for the middle stretch —
+    the classic "one bad host" tail-latency scenario.  Without speculation
+    every attempt placed there (and every fetch of a map output hosted
+    there) drags the job; with it, backups on healthy nodes win the race.
+    """
+    nodes = list(node_names)
+    if len(nodes) < 2:
+        raise ValueError("standard_slowdown_plan needs >= 2 nodes (1 must be healthy)")
+    if runtime_hint <= 0:
+        raise ValueError(f"runtime_hint must be positive, got {runtime_hint}")
+    sick = nodes[-1]
+    onset = 0.05 * runtime_hint
+    window = 2.0 * runtime_hint  # outlasts the stretched run
+    return FaultPlan(
+        slowdowns=(NodeSlowdown(at=onset, node=sick, duration=window, factor=cpu_factor),),
+        disk_slowdowns=(
+            DiskSlowdown(at=onset, node=sick, duration=window, factor=disk_factor),
+        ),
+        link_degrades=(
+            LinkDegrade(
+                at=0.30 * runtime_hint,
+                node=sick,
+                duration=0.5 * runtime_hint,
+                factor=link_factor,
+            ),
+        ),
+        name=name,
+    )
+
+
+def seeded_slowdown_plan(
+    seed: int, node_names: Sequence[str], runtime_hint: float
+) -> FaultPlan:
+    """A randomized-but-reproducible degradation plan: same seed, same plan.
+
+    Always leaves the first node untouched so a healthy backup target
+    exists, and draws 1–2 sick nodes with independent CPU/disk/link
+    windows inside the run.
+    """
+    import numpy as np
+
+    nodes = list(node_names)
+    if len(nodes) < 2:
+        raise ValueError("seeded_slowdown_plan needs >= 2 nodes")
+    rng = np.random.default_rng(seed)
+    candidates = nodes[1:]
+    n_sick = int(rng.integers(1, min(2, len(candidates)) + 1))
+    sick = [candidates[int(i)] for i in rng.choice(len(candidates), n_sick, replace=False)]
+    slowdowns = []
+    disk_slowdowns = []
+    link_degrades = []
+    for node in sick:
+        start = float(rng.uniform(0.0, 0.3)) * runtime_hint
+        dur = float(rng.uniform(0.8, 2.0)) * runtime_hint
+        slowdowns.append(
+            NodeSlowdown(at=start, node=node, duration=dur, factor=float(rng.uniform(2.0, 4.0)))
+        )
+        if rng.uniform() < 0.7:
+            disk_slowdowns.append(
+                DiskSlowdown(at=start, node=node, duration=dur, factor=float(rng.uniform(1.5, 3.0)))
+            )
+        if rng.uniform() < 0.5:
+            link_degrades.append(
+                LinkDegrade(
+                    at=float(rng.uniform(0.1, 0.5)) * runtime_hint,
+                    node=node,
+                    duration=float(rng.uniform(0.2, 0.6)) * runtime_hint,
+                    factor=float(rng.uniform(2.0, 6.0)),
+                )
+            )
+    return FaultPlan(
+        slowdowns=tuple(slowdowns),
+        disk_slowdowns=tuple(disk_slowdowns),
+        link_degrades=tuple(link_degrades),
+        name=f"seeded-slowdown-{seed}",
+    )
+
+
 class FaultInjector:
     """Runtime of one :class:`FaultPlan` on one cluster/job.
 
@@ -396,7 +558,15 @@ class FaultInjector:
             raise ValueError("fault plan crashes every node; nothing could recover")
         #: Injection tallies, registered as the ``faults.*`` metrics namespace.
         self.counters = Counter()
-        for key in ("node_crashes", "link_flaps", "disk_errors", "responder_stalls"):
+        for key in (
+            "node_crashes",
+            "link_flaps",
+            "disk_errors",
+            "responder_stalls",
+            "node_slowdowns",
+            "link_degrades",
+            "disk_slowdowns",
+        ):
             self.counters.add(key, 0.0)
         self.crashed: set[str] = set()
         self._crash_events: dict[str, Event] = {}
@@ -410,6 +580,23 @@ class FaultInjector:
             self._stall_windows.setdefault(stall.node, []).append(
                 (stall.at, stall.at + stall.duration)
             )
+        # Degradation windows: (start, end, factor[, disk]) per node.  CPU
+        # and disk windows are consulted at service time (no driver); the
+        # link windows need drivers because capacity changes must re-rate
+        # in-flight flows at the window edges.
+        self._slow_windows: dict[str, list[tuple[float, float, float]]] = {}
+        for slow in plan.slowdowns:
+            self._slow_windows.setdefault(slow.node, []).append(
+                (slow.at, slow.at + slow.duration, slow.factor)
+            )
+        self._disk_slow_windows: dict[str, list[tuple[float, float, float, int]]] = {}
+        for dslow in plan.disk_slowdowns:
+            self._disk_slow_windows.setdefault(dslow.node, []).append(
+                (dslow.at, dslow.at + dslow.duration, dslow.factor, dslow.disk)
+            )
+        self._active_degrades: dict[str, list[LinkDegrade]] = {}
+        self._link_base_caps: dict[object, float] = {}
+        self._fabric = None
         # Disk-error draws come from one named stream *per node* (created
         # lazily): faults are attributable to the disk that threw them —
         # the prerequisite for health scoring — and adding one node's
@@ -431,8 +618,41 @@ class FaultInjector:
             self.sim.process(self._crash_driver(crash), name=f"fault-crash-{crash.node}")
         for i, flap in enumerate(self.plan.flaps):
             self.sim.process(self._flap_driver(flap), name=f"fault-flap{i}-{flap.node}")
-        # Stalls and disk errors need no driver: providers consult the
-        # windows / draw from the stream at serve time.
+        for i, deg in enumerate(self.plan.link_degrades):
+            self.sim.process(self._degrade_driver(deg), name=f"fault-degrade{i}-{deg.node}")
+        for slow in self.plan.slowdowns:
+            self.sim.process(
+                self._onset_tally(slow, "node_slowdowns"),
+                name=f"fault-slow-{slow.node}",
+            )
+        for dslow in self.plan.disk_slowdowns:
+            self.sim.process(
+                self._onset_tally(dslow, "disk_slowdowns"),
+                name=f"fault-diskslow-{dslow.node}",
+            )
+        # Stalls, disk errors and CPU/disk slowdowns need no actuating
+        # driver: providers consult the windows / draw from the stream at
+        # serve time (the slowdown processes above only tally onsets).
+
+    def bind(self, cluster) -> None:
+        """Attach degradation hooks to the cluster's nodes, disks and NICs.
+
+        Only nodes/disks actually named by a degradation window get their
+        ``faults`` attribute set, so untouched nodes keep the plain
+        single-attribute-test hot path.  No-op for plans without
+        degradation entries — existing fault runs stay bit-identical.
+        """
+        if not self.plan.has_degradation:
+            return
+        self._fabric = cluster.fabric
+        for node in cluster.nodes:
+            if node.name in self._slow_windows:
+                node.faults = self
+            if node.name in self._disk_slow_windows:
+                for index, disk in enumerate(node.fs.disks):
+                    disk.faults = self
+                    disk.fault_node = node.name
+                    disk.fault_index = index
 
     def on_crash(self, fn: Callable[[str], None]) -> None:
         """Register ``fn(node_name)`` to run when a node crashes."""
@@ -461,6 +681,38 @@ class FaultInjector:
         self.counters.add("link_flaps", 1)
         for fn in self._flap_hooks:
             fn(flap.node)
+
+    def _onset_tally(self, entry, key: str):
+        """Count a CPU/disk slowdown window that actually began."""
+        yield self.sim.timeout(entry.at)
+        if entry.node not in self.crashed:
+            self.counters.add(key, 1)
+
+    def _degrade_driver(self, degrade: LinkDegrade):
+        yield self.sim.timeout(degrade.at)
+        if degrade.node in self.crashed or self._fabric is None:
+            return
+        self._active_degrades.setdefault(degrade.node, []).append(degrade)
+        self.counters.add("link_degrades", 1)
+        self._apply_link_capacity(degrade.node)
+        yield self.sim.timeout(degrade.duration)
+        active = self._active_degrades.get(degrade.node)
+        if active and degrade in active:
+            active.remove(degrade)
+        if degrade.node not in self.crashed:
+            self._apply_link_capacity(degrade.node)
+
+    def _apply_link_capacity(self, node: str) -> None:
+        """Re-rate the node's NIC links to base capacity / active factors."""
+        nic = self._fabric.interfaces.get(node)
+        if nic is None:
+            return
+        factor = 1.0
+        for entry in self._active_degrades.get(node, ()):
+            factor *= entry.factor
+        for link in (nic.tx, nic.rx):
+            base = self._link_base_caps.setdefault(link, link.capacity)
+            self._fabric.flows.set_capacity(link, base / factor)
 
     # -- queries (the hooks the rest of the stack calls) --------------------
 
@@ -512,6 +764,49 @@ class FaultInjector:
             self.counters.add("disk_errors", 1)
             return True
         return False
+
+    def cpu_delay(self, node: str, delay: float) -> float:
+        """Wall-clock seconds to do ``delay`` nominal CPU-seconds from now.
+
+        Integrates piecewise across the node's slowdown windows: work
+        proceeds at speed ``1 / product(active factors)``, so a compute
+        that spans a window edge pays exactly the stretched portion.
+        Called only on nodes a :class:`NodeSlowdown` names (``bind`` sets
+        ``node.faults`` selectively).
+        """
+        windows = self._slow_windows.get(node)
+        if not windows or delay <= 0:
+            return delay
+        t = self.sim.now
+        remaining = delay
+        wall = 0.0
+        while remaining > 1e-12:
+            factor = 1.0
+            next_edge = float("inf")
+            for start, end, f in windows:
+                if start <= t < end:
+                    factor *= f
+                    next_edge = min(next_edge, end)
+                elif t < start:
+                    next_edge = min(next_edge, start)
+            span = remaining * factor
+            if t + span <= next_edge:
+                wall += span
+                remaining = 0.0
+            else:
+                wall += next_edge - t
+                remaining -= (next_edge - t) / factor
+                t = next_edge
+        return wall
+
+    def disk_factor(self, node: str, disk_index: int) -> float:
+        """Service-time multiplier for one disk right now (1.0 = healthy)."""
+        factor = 1.0
+        now = self.sim.now
+        for start, end, f, disk in self._disk_slow_windows.get(node, ()):
+            if (disk < 0 or disk == disk_index) and start <= now < end:
+                factor *= f
+        return factor
 
     def healthy(self, names: Iterable[str]) -> list[str]:
         return [n for n in names if n not in self.crashed]

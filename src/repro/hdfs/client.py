@@ -179,6 +179,27 @@ class DFSClient:
                 integ.note_reread()
             attempt += 1
 
+    # -- namespace --------------------------------------------------------
+
+    def delete_file(self, file_name: str) -> None:
+        """Unlink ``file_name`` and its replica files (pure bookkeeping).
+
+        Deletes in HDFS are metadata operations — DataNodes reclaim the
+        replica blocks asynchronously — so no I/O is simulated.  Used to
+        unlink a losing speculative attempt's partial output; a name that
+        was never written (the attempt died before its first flush) is a
+        no-op.
+        """
+        if not self.namenode.exists(file_name):
+            return
+        for block in self.namenode.blocks_of(file_name):
+            for location in block.locations:
+                node = self.cluster.node(location)
+                replica = self._replica_name(block, location)
+                if node.fs.exists(replica):
+                    node.fs.delete(replica)
+        self.namenode.delete(file_name)
+
     # -- write path -------------------------------------------------------
 
     def write_file_part(

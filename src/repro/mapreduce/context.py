@@ -127,6 +127,10 @@ class JobContext:
                 conf.fault_plan,
                 [n.name for n in cluster.nodes],
             )
+            # Degradation windows (NodeSlowdown / DiskSlowdown /
+            # LinkDegrade) actuate inside the cluster/storage/network
+            # layers; no-op unless the plan carries such entries.
+            self.faults.bind(cluster)
         cluster.faults = self.faults
         #: UCR runtime for the verbs engines ("hadoopa", "rdma"); they run
         #: native IB verbs regardless of what transport vanilla traffic uses
@@ -177,6 +181,15 @@ class JobContext:
             from repro.control import ControlPlane
 
             self.control = ControlPlane(self)
+        #: LATE-style speculative execution (repro.mapreduce.speculation);
+        #: None unless a ``speculative_*`` knob is on.  Same contract as
+        #: the other optional subsystems: every hook is behind an
+        #: ``is not None`` check, knob-free runs stay bit-identical.
+        self.speculation = None
+        if conf.speculation_active:
+            from repro.mapreduce.speculation import Speculator
+
+            self.speculation = Speculator(self)
         #: Federated metrics tree; actors register their collectors here
         #: (job counters now, cache stats and disks as they come up).
         self.metrics = MetricsRegistry()
@@ -188,6 +201,9 @@ class JobContext:
         if self.control is not None:
             # control.* appears only when the controller is armed.
             self.metrics.register("control", self.control.metrics_snapshot)
+        if self.speculation is not None:
+            # speculation.* appears only when a speculative knob is set.
+            self.metrics.register("speculation", self.speculation.metrics_snapshot)
         if self.faults is not None:
             # faults.* and ucr.* appear in the metrics tree only when a
             # plan is active (no new keys on fault-free BENCH exports).

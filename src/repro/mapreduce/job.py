@@ -96,8 +96,15 @@ class JobConf:
     #: mapred.map.tasks.speculative.execution: launch a backup attempt for
     #: map tasks running far beyond the completed-task median.
     speculative_execution: bool = False
+    #: mapred.reduce.tasks.speculative.execution: LATE backup attempts for
+    #: reduce tasks (commit-once; the losing attempt is killed, not failed).
+    speculative_reduces: bool = False
     #: A running attempt is speculation-eligible beyond median * threshold.
     speculative_threshold: float = 1.2
+    #: Upper bound on backup attempts launched per job (0 = unlimited).
+    speculative_cap: int = 0
+    #: Seconds between LATE speculator scans.
+    speculative_interval: float = 2.0
     #: Probability that a map task attempt fails partway through.
     map_failure_rate: float = 0.0
     #: Probability that a reduce task attempt fails partway through.
@@ -268,6 +275,23 @@ class JobConf:
                     f"control_health_threshold must be in (0, 1], "
                     f"got {self.control_health_threshold}"
                 )
+        if self.speculative_cap < 0:
+            raise ValueError("speculative_cap must be >= 0")
+        if self.speculation_active:
+            if self.speculative_threshold <= 1.0:
+                # LATE's lag bar: at threshold <= 1 every on-pace attempt
+                # counts as a straggler and backups churn pointlessly.
+                raise ValueError(
+                    f"speculative_threshold must be > 1, "
+                    f"got {self.speculative_threshold}"
+                )
+            if self.speculative_interval <= 0:
+                raise ValueError("speculative_interval must be positive")
+
+    @property
+    def speculation_active(self) -> bool:
+        """Whether the LATE speculator runs (either task kind armed)."""
+        return self.speculative_execution or self.speculative_reduces
 
     @property
     def integrity_active(self) -> bool:

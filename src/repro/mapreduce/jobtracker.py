@@ -22,6 +22,7 @@ from repro.mapreduce.maptask import (
     run_map_task,
 )
 from repro.mapreduce.shuffle.base import engine_by_name
+from repro.mapreduce.speculation import pick_straggler
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.sim.core import Event
 
@@ -42,6 +43,18 @@ class JobTracker:
         self._attempts: dict[int, list[Any]] = {}
         self._attempt_meta: dict[int, tuple[float, str, Block]] = {}
         self._speculated: set[int] = set()
+        # Reduce-side speculation: commit-once registry, per-reduce attempt
+        # id allocator (ids stay unique across concurrent racing wrappers),
+        # and the kill channels a committing winner fires — wrapper
+        # processes in the plain path, lose events in the faulted path
+        # (whose wrappers park on a race and must not be interrupted).
+        self._reduce_committed: set[int] = set()
+        self._reduce_speculated: set[int] = set()
+        self._reduce_attempt_seq: dict[int, int] = {}
+        self._reduce_attempt_procs: dict[int, list[Any]] = {}
+        self._reduce_lose: dict[int, list[Event]] = {}
+        self._spec_reduce_procs: list[Any] = []
+        self._consumer_cls: type | None = None
         # Fault recovery: maps with a re-execution in flight, and the
         # re-execution driver processes (drained before job cleanup).
         self._reexec_pending: set[int] = set()
@@ -53,6 +66,7 @@ class JobTracker:
         ctx = self.ctx
         conf = ctx.conf
         provider_cls, consumer_cls = engine_by_name(conf.shuffle_engine)
+        self._consumer_cls = consumer_cls
 
         # Input already resides in HDFS (TeraGen/RandomWriter ran earlier).
         blocks = ctx.dfs.provision_file(
@@ -107,7 +121,7 @@ class JobTracker:
         ]
         # Track slow-start via the (delayed) completion board.
         self.sim.process(self._slowstart_watch(), name="slowstart")
-        if conf.speculative_execution:
+        if conf.speculation_active:
             self.sim.process(self._speculation_watcher(), name="speculator")
 
         # Launch reducers once slow-start is reached.
@@ -127,6 +141,14 @@ class JobTracker:
             # Re-execution drivers normally finish before the reducers that
             # wait on their output; drain any stragglers so nothing leaks.
             live = [p for p in self._reexec_procs if p.is_alive]
+            if live:
+                yield self.sim.all_of(live)
+        if self._spec_reduce_procs:
+            # A speculative backup may still be the winner mid-flight when
+            # every original wrapper has returned (its original was killed)
+            # — or a loser may still be unwinding its teardown.  The job
+            # is done only when the racers are.
+            live = [p for p in self._spec_reduce_procs if p.is_alive]
             if live:
                 yield self.sim.all_of(live)
         # Job cleanup.
@@ -165,6 +187,11 @@ class JobTracker:
             for key, value in ctx.control.counters.as_dict().items():
                 counters[f"control.{key}"] = value
             counters.setdefault("reduce.migrated", 0.0)
+        if ctx.speculation is not None:
+            # LATE speculator tally (key set pre-seeded; 0 = it never had
+            # cause to act).  Present only when a speculative knob is set.
+            for key, value in ctx.speculation.counters.as_dict().items():
+                counters[f"speculation.{key}"] = value
         if conf.backpressure_active:
             # Stable backpressure/spill key set when any flow-control knob
             # is on (0 = the pressure never materialised); absent on
@@ -206,6 +233,8 @@ class JobTracker:
             phase_report["integrity"] = ctx.integrity.report()
         if ctx.control is not None:
             phase_report["control"] = ctx.control.report()
+        if ctx.speculation is not None:
+            phase_report["speculation"] = ctx.speculation.report()
 
         return JobResult(
             conf=conf,
@@ -279,14 +308,19 @@ class JobTracker:
         from repro.tools.timeline import TaskSpan
 
         map_id, block = task
+        spec = self.ctx.speculation
         try:
             for attempt in range(self.ctx.conf.max_task_attempts):
                 started = self.sim.now
+                if spec is not None:
+                    spec.track("map", map_id, attempt, tt.name)
                 try:
                     yield from run_map_task(self.ctx, tt, map_id, block, attempt)
                     self.ctx.spans.append(
                         TaskSpan("map", map_id, attempt, tt.name, started, self.sim.now)
                     )
+                    if spec is not None and map_id in self._speculated:
+                        spec.note_win("map", map_id, tt.name)
                     self._kill_losing_attempts(map_id)
                     return
                 except TaskFailure:
@@ -298,12 +332,16 @@ class JobTracker:
                     continue
                 except Interrupted as exc:
                     # A sibling speculative attempt committed first, or the
-                    # node died under this attempt.
+                    # node died under this attempt.  Killed, not failed:
+                    # neither outcome burns the task's attempt budget.
                     self.ctx.spans.append(
                         TaskSpan(
-                            "map", map_id, attempt, tt.name, started, self.sim.now, ok=False
+                            "map", map_id, attempt, tt.name, started, self.sim.now,
+                            ok=False, killed=True,
                         )
                     )
+                    if spec is not None and exc.cause == "lost speculative race":
+                        spec.note_loser("map", map_id, tt.name, 0.0)
                     if (
                         self.ctx.faults is not None
                         and exc.cause == "node-crash"
@@ -311,6 +349,9 @@ class JobTracker:
                     ):
                         self._relaunch_lost_map(map_id, block)
                     return
+                finally:
+                    if spec is not None:
+                        spec.untrack("map", map_id, attempt, tt.name)
             raise RuntimeError(
                 f"map {map_id} exceeded {self.ctx.conf.max_task_attempts} attempts"
             )
@@ -453,52 +494,150 @@ class JobTracker:
     # -- speculative execution -------------------------------------------------
 
     def _speculation_watcher(self) -> Generator[Event, Any, None]:
-        """Launch backup attempts for stragglers (mapred speculative
-        execution: eligible once no pending work remains and an attempt
-        runs beyond ``speculative_threshold`` x the completed median)."""
+        """The LATE scan loop (Zaharia et al., OSDI'08).
+
+        Every ``speculative_interval`` seconds the speculator ranks live
+        attempts by progress *rate*: an attempt whose projected total
+        runtime (``age / progress``) exceeds ``speculative_threshold`` x
+        the completed-task median is a straggler, and the slowest-rate
+        straggler gets one backup attempt per scan — subject to the
+        per-job ``speculative_cap`` and a free-slot healthy-tracker
+        placement that reuses the scheduler's quarantine/steering rules.
+        First attempt to finish commits; the loser is killed, not failed.
+        """
         ctx = self.ctx
         conf = ctx.conf
-        trackers = list(ctx.trackers.values())
-        while ctx.completed_maps < ctx.n_maps:
-            yield self.sim.timeout(2.0)
-            if self.pending_maps:
+        spec = ctx.speculation
+        while True:
+            yield self.sim.timeout(conf.speculative_interval)
+            spec.counters.add("scans", 1)
+            if conf.speculative_execution:
+                yield from self._speculate_maps()
+            if conf.speculative_reduces:
+                self._speculate_reduces()
+
+    def _speculate_maps(self) -> Generator[Event, Any, None]:
+        """One LATE map scan: back up the slowest-rate lagging attempt."""
+        ctx = self.ctx
+        conf = ctx.conf
+        spec = ctx.speculation
+        if self.pending_maps or ctx.completed_maps >= ctx.n_maps:
+            # Backups only make sense in the tail: while pending work
+            # remains, a free slot is better spent on a fresh task.
+            return
+        durations = sorted(s.duration for s in ctx.spans if s.kind == "map" and s.ok)
+        if not durations:
+            return
+        median = durations[len(durations) // 2]
+        exclude = self._speculated | set(ctx.map_outputs)
+        pick = pick_straggler(
+            spec.estimates("map", exclude),
+            self.sim.now,
+            median,
+            conf.speculative_threshold,
+        )
+        if pick is None:
+            return
+        if spec.cap_reached():
+            spec.note_capped("map", pick.task_id)
+            return
+        backup_tt = self._pick_backup_tracker("map", pick.node)
+        if backup_tt is None:
+            spec.note_no_slot("map", pick.task_id)
+            return
+        map_id = pick.task_id
+        block = self._attempt_meta[map_id][2]
+        self._speculated.add(map_id)
+        slot = backup_tt.map_slots.request()
+        yield slot
+        if map_id in ctx.map_outputs:
+            # The original committed while we waited for a slot.
+            backup_tt.map_slots.release(slot)
+            return
+        ctx.counters.add("map.speculative_launched", 1)
+        spec.note_backup(
+            "map", map_id, pick.node, backup_tt.name, pick.est_total(self.sim.now)
+        )
+        proc = self.sim.process(
+            self._map_wrapper(backup_tt, (map_id, block), slot),
+            name=f"map-{map_id}-backup",
+        )
+        self._attempts.setdefault(map_id, []).append(proc)
+
+    def _speculate_reduces(self) -> None:
+        """One LATE reduce scan: spawn a racing backup wrapper.
+
+        The backup goes through the ordinary reduce wrapper (acquiring its
+        own slot), races the original, and whichever attempt commits first
+        wins; ``_commit_reduce`` kills the loser.
+        """
+        ctx = self.ctx
+        conf = ctx.conf
+        spec = ctx.speculation
+        durations = sorted(s.duration for s in ctx.spans if s.kind == "reduce" and s.ok)
+        if not durations:
+            return
+        median = durations[len(durations) // 2]
+        exclude = self._reduce_speculated | self._reduce_committed
+        pick = pick_straggler(
+            spec.estimates("reduce", exclude),
+            self.sim.now,
+            median,
+            conf.speculative_threshold,
+        )
+        if pick is None:
+            return
+        if spec.cap_reached():
+            spec.note_capped("reduce", pick.task_id)
+            return
+        backup_tt = self._pick_backup_tracker("reduce", pick.node)
+        if backup_tt is None:
+            spec.note_no_slot("reduce", pick.task_id)
+            return
+        reduce_id = pick.task_id
+        self._reduce_speculated.add(reduce_id)
+        ctx.counters.add("reduce.speculative_launched", 1)
+        spec.note_backup(
+            "reduce", reduce_id, pick.node, backup_tt.name, pick.est_total(self.sim.now)
+        )
+        proc = self.sim.process(
+            self._reduce_wrapper(backup_tt, reduce_id, self._consumer_cls),
+            name=f"reduce-{reduce_id}-backup",
+        )
+        self._spec_reduce_procs.append(proc)
+
+    def _pick_backup_tracker(self, kind: str, straggler_node: str):
+        """Free-slot healthy placement for a backup attempt, or None.
+
+        Reuses the scheduler's robustness machinery: dead trackers are
+        out, quarantined trackers are skipped (a backup on a rotten disk
+        defeats the purpose — and unlike a relaunch, *not* placing a
+        backup is always safe), and under the control plane the choice is
+        steered away from deep-queue/degraded trackers.
+        """
+        ctx = self.ctx
+        pool = []
+        for tt in ctx.trackers.values():
+            if tt.name == straggler_node:
                 continue
-            durations = sorted(
-                s.duration for s in ctx.spans if s.kind == "map" and s.ok
-            )
-            if not durations:
+            if ctx.faults is not None and ctx.faults.node_dead(tt.name):
                 continue
-            median = durations[len(durations) // 2]
-            for map_id, (started, tt_name, block) in list(self._attempt_meta.items()):
-                if (
-                    map_id in self._speculated
-                    or map_id in ctx.map_outputs
-                    or self.sim.now - started <= conf.speculative_threshold * median
-                ):
-                    continue
-                candidates = [
-                    tt
-                    for tt in trackers
-                    if tt.name != tt_name
-                    and tt.map_slots.count < tt.map_slots.capacity
-                    and (ctx.faults is None or not ctx.faults.node_dead(tt.name))
-                ]
-                if not candidates:
-                    continue
-                backup_tt = candidates[0]
-                self._speculated.add(map_id)
-                slot = backup_tt.map_slots.request()
-                yield slot
-                if map_id in ctx.map_outputs:
-                    # The original committed while we waited for a slot.
-                    backup_tt.map_slots.release(slot)
-                    continue
-                ctx.counters.add("map.speculative_launched", 1)
-                proc = self.sim.process(
-                    self._map_wrapper(backup_tt, (map_id, block), slot),
-                    name=f"map-{map_id}-backup",
-                )
-                self._attempts.setdefault(map_id, []).append(proc)
+            if ctx.integrity is not None and ctx.integrity.quarantined(tt.name):
+                continue
+            slots = tt.map_slots if kind == "map" else tt.reduce_slots
+            if slots.count >= slots.capacity:
+                continue
+            pool.append(tt)
+        if not pool:
+            return None
+
+        def load(t: TaskTracker) -> tuple:
+            slots = t.map_slots if kind == "map" else t.reduce_slots
+            return (slots.count + slots.queue_len, t.name)
+
+        if ctx.control is not None:
+            return ctx.control.pick(pool, load)
+        return min(pool, key=load)
 
     def _slowstart_watch(self) -> Generator[Event, Any, None]:
         inbox = self.ctx.board.subscribe()
@@ -510,39 +649,158 @@ class JobTracker:
 
     # -- reducers -------------------------------------------------------------------
 
+    def _alloc_reduce_attempt(self, reduce_id: int) -> int:
+        """Next attempt id for this reduce.
+
+        A shared allocator (instead of each wrapper's loop index) keeps
+        attempt ids — and therefore RNG stream names and attempt-scoped
+        output files — unique when an original and a speculative backup
+        wrapper race.  With a single wrapper it degenerates to 0, 1, 2 ...
+        exactly as before.
+        """
+        n = self._reduce_attempt_seq.get(reduce_id, 0)
+        self._reduce_attempt_seq[reduce_id] = n + 1
+        return n
+
+    def _commit_reduce(
+        self, consumer: Any, tt: TaskTracker, reduce_id: int, attempt: int,
+        started: float,
+    ) -> bool:
+        """Commit-once for reduce output: first finisher wins.
+
+        Records the span, counters and completion timestamp for the
+        winning attempt and kills any racing siblings; a finisher that
+        arrives second is torn down as a loser instead (False).
+        """
+        from repro.tools.timeline import TaskSpan
+
+        ctx = self.ctx
+        if reduce_id in self._reduce_committed:
+            self._teardown_losing_reduce(consumer, tt, reduce_id, attempt, started)
+            return False
+        self._reduce_committed.add(reduce_id)
+        ctx.spans.append(
+            TaskSpan("reduce", reduce_id, attempt, tt.name, started, self.sim.now)
+        )
+        ctx.counters.add("reduce.completed", 1)
+        if ctx.faults is not None or ctx.conf.speculative_reduces:
+            # Bytes that made it into the *committed* output — unlike
+            # reduce.output_bytes this never includes a loser's partials,
+            # so chaos runs can assert byte-identical results against it.
+            ctx.counters.add(
+                "reduce.committed_output_bytes", consumer.bytes_reduced
+            )
+        if ctx.speculation is not None and reduce_id in self._reduce_speculated:
+            ctx.speculation.note_win("reduce", reduce_id, tt.name)
+        self._kill_losing_reduce_attempts(reduce_id)
+        self._reduce_done_times.append(self.sim.now)
+        return True
+
+    def _kill_losing_reduce_attempts(self, reduce_id: int) -> None:
+        """Signal every racing sibling attempt that the race is over.
+
+        Plain-path wrappers are interrupted directly; faulted-path
+        wrappers (parked on a crash/migrate race) get their per-attempt
+        lose event fired and unwind themselves.
+        """
+        for ev in self._reduce_lose.get(reduce_id, []):
+            if not ev.triggered:
+                ev.succeed("lost speculative race")
+        me = self.sim.active_process
+        for proc in self._reduce_attempt_procs.get(reduce_id, []):
+            if proc is not me and proc.is_alive:
+                proc.interrupt("lost speculative race")
+
+    def _teardown_losing_reduce(
+        self, consumer: Any, tt: TaskTracker, reduce_id: int, attempt: int,
+        started: float,
+    ) -> None:
+        """Unwind a losing speculative attempt: killed, not failed.
+
+        The attempt's span is recorded as killed (it doesn't burn the
+        attempt budget), its partial attempt-scoped output is unlinked
+        from HDFS, and the wasted bytes are settled against the
+        speculation ledger.
+        """
+        from repro.tools.timeline import TaskSpan
+
+        ctx = self.ctx
+        ctx.spans.append(
+            TaskSpan(
+                "reduce", reduce_id, attempt, tt.name, started, self.sim.now,
+                ok=False, killed=True,
+            )
+        )
+        if consumer is None:
+            # Killed before the consumer existed: nothing was written.
+            if ctx.speculation is not None:
+                ctx.speculation.note_loser("reduce", reduce_id, tt.name, 0.0)
+            return
+        if not consumer.aborted:
+            consumer.cancel("lost speculative race")
+        wasted = consumer.bytes_reduced
+        # Attempt-scoped output names (Hadoop's _temporary dirs) make the
+        # unlink safe: the winner's committed file is untouched.
+        ctx.dfs.delete_file(consumer.output_file)
+        if ctx.integrity is not None:
+            # Settle the abandoned attempt's in-flight wire exchanges and
+            # staged artifacts so open detections don't dangle.
+            ctx.integrity.note_migrated(tt.name, reduce_id)
+        if ctx.speculation is not None:
+            ctx.speculation.note_loser("reduce", reduce_id, tt.name, wasted)
+
     def _reduce_wrapper(
         self, tt: TaskTracker, reduce_id: int, consumer_cls: type
     ) -> Generator[Event, Any, None]:
         from repro.mapreduce.maptask import TaskFailure
+        from repro.sim.core import Interrupted
         from repro.tools.timeline import TaskSpan
 
         ctx = self.ctx
         if ctx.faults is not None:
             yield from self._reduce_wrapper_faulted(tt, reduce_id, consumer_cls)
             return
+        spec = ctx.speculation
+        if spec is not None:
+            # Racing wrappers (original + speculative backup) register so a
+            # committing winner can interrupt its still-running sibling.
+            self._reduce_attempt_procs.setdefault(reduce_id, []).append(
+                self.sim.active_process
+            )
+        failed_attempts = 0
         with tt.reduce_slots.request() as slot:
-            yield slot
-            for attempt in range(ctx.conf.max_task_attempts):
+            try:
+                yield slot
+            except Interrupted:
+                # Killed while queued for a slot: no attempt ever started,
+                # so there is nothing to record or tear down.
+                return
+            while failed_attempts < ctx.conf.max_task_attempts:
+                if reduce_id in self._reduce_committed:
+                    return  # a racing sibling committed while we retried
+                attempt = self._alloc_reduce_attempt(reduce_id)
                 started = self.sim.now
-                yield from tt.node.compute(
-                    ctx.conf.costs.task_startup
-                    * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
-                )
-                consumer = consumer_cls(ctx, tt, reduce_id, attempt)
-                if ctx.control is not None:
-                    # Fault-free runs still get per-reducer retuning;
-                    # migration needs the faulted wrapper's kill path.
-                    ctx.control.track_attempt(
-                        reduce_id, tt.name, consumer, migratable=False
-                    )
+                consumer = None
                 try:
-                    yield from consumer.run()
-                    ctx.spans.append(
-                        TaskSpan(
-                            "reduce", reduce_id, attempt, tt.name, started, self.sim.now
-                        )
+                    yield from tt.node.compute(
+                        ctx.conf.costs.task_startup
+                        * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
                     )
-                    break
+                    consumer = consumer_cls(ctx, tt, reduce_id, attempt)
+                    if ctx.control is not None:
+                        # Fault-free runs still get per-reducer retuning;
+                        # migration needs the faulted wrapper's kill path.
+                        ctx.control.track_attempt(
+                            reduce_id, tt.name, consumer, migratable=False
+                        )
+                    if spec is not None:
+                        spec.track(
+                            "reduce", reduce_id, attempt, tt.name,
+                            poll=consumer.progress,
+                        )
+                    yield from consumer.run()
+                    self._commit_reduce(consumer, tt, reduce_id, attempt, started)
+                    return
                 except TaskFailure:
                     ctx.spans.append(
                         TaskSpan(
@@ -555,16 +813,25 @@ class JobTracker:
                             ok=False,
                         )
                     )
+                    failed_attempts += 1
                     continue
+                except Interrupted:
+                    # The sibling speculative attempt committed first.
+                    # Killed, not failed: it doesn't burn the attempt
+                    # budget, and its partial output is unlinked.
+                    self._teardown_losing_reduce(
+                        consumer, tt, reduce_id, attempt, started
+                    )
+                    return
                 finally:
                     if ctx.control is not None:
                         ctx.control.untrack_attempt(reduce_id)
-            else:
-                raise RuntimeError(
-                    f"reduce {reduce_id} exceeded "
-                    f"{ctx.conf.max_task_attempts} attempts"
-                )
-        self._reduce_done_times.append(self.sim.now)
+                    if spec is not None and consumer is not None:
+                        spec.untrack("reduce", reduce_id, attempt, tt.name)
+            raise RuntimeError(
+                f"reduce {reduce_id} exceeded "
+                f"{ctx.conf.max_task_attempts} attempts"
+            )
 
     def _reduce_wrapper_faulted(
         self, tt: TaskTracker, reduce_id: int, consumer_cls: type
@@ -587,10 +854,16 @@ class JobTracker:
 
         ctx = self.ctx
         faults = ctx.faults
-        attempt = 0
+        spec = ctx.speculation
+        # Faulted wrappers park on a race (crash/migrate events) and must
+        # not be interrupt()ed mid-race; a committing sibling signals them
+        # through a per-attempt "lose" event added to that race instead.
+        speculating = spec is not None and ctx.conf.speculative_reduces
         failed_attempts = 0
         relocate = False
         while True:
+            if reduce_id in self._reduce_committed:
+                return  # a racing sibling committed while we relocated
             if failed_attempts >= ctx.conf.max_task_attempts:
                 raise RuntimeError(
                     f"reduce {reduce_id} exceeded "
@@ -601,19 +874,39 @@ class JobTracker:
                 relocate = False
             slot = tt.reduce_slots.request()
             yield slot
+            attempt = None
+            consumer = None
+            lose = None
             try:
                 if faults.node_dead(tt.name):
                     continue  # crashed while we queued; move elsewhere
+                if reduce_id in self._reduce_committed:
+                    return  # a racing sibling committed while we queued
+                attempt = self._alloc_reduce_attempt(reduce_id)
+                if speculating:
+                    lose = Event(self.sim)
+                    self._reduce_lose.setdefault(reduce_id, []).append(lose)
                 started = self.sim.now
                 yield from tt.node.compute(
                     ctx.conf.costs.task_startup
                     * ctx.jitter(f"redstart-{reduce_id}-a{attempt}")
                 )
+                if lose is not None and lose.triggered:
+                    # The sibling committed during our startup compute.
+                    self._teardown_losing_reduce(
+                        None, tt, reduce_id, attempt, started
+                    )
+                    return
                 consumer = consumer_cls(ctx, tt, reduce_id, attempt)
                 migrate = None
                 if ctx.control is not None:
                     migrate = ctx.control.track_attempt(
                         reduce_id, tt.name, consumer
+                    )
+                if spec is not None:
+                    spec.track(
+                        "reduce", reduce_id, attempt, tt.name,
+                        poll=consumer.progress,
                     )
                 run_proc = self.sim.process(
                     consumer.run(), name=f"r{reduce_id}-attempt{attempt}"
@@ -622,6 +915,8 @@ class JobTracker:
                 race = [run_proc, crash]
                 if migrate is not None:
                     race.append(migrate)
+                if lose is not None:
+                    race.append(lose)
                 try:
                     yield self.sim.any_of(race)
                 except TaskFailure:
@@ -634,21 +929,26 @@ class JobTracker:
                             started, self.sim.now, ok=False,
                         )
                     )
-                    attempt += 1
                     failed_attempts += 1
                     continue
                 if run_proc.is_alive:
-                    # The node crashed mid-attempt — or the controller
+                    # The node crashed mid-attempt, the controller
                     # evacuated this reducer off a freshly quarantined
-                    # tracker.  Either way the attempt is killed (not
-                    # failed): tear the consumer down and wait for its
-                    # processes to unwind.
+                    # tracker — or a speculative sibling committed first.
+                    # Either way the attempt is killed (not failed): tear
+                    # the consumer down and wait for its processes to
+                    # unwind.
+                    lost_race = lose is not None and lose.triggered
                     migrated = (
-                        migrate is not None
+                        not lost_race
+                        and migrate is not None
                         and migrate.triggered
                         and not faults.node_dead(tt.name)
                     )
-                    cause = "control-migrate" if migrated else "node-crash"
+                    if lost_race:
+                        cause = "lost speculative race"
+                    else:
+                        cause = "control-migrate" if migrated else "node-crash"
                     consumer.cancel(cause)
                     run_proc.interrupt(cause)
                     interrupted = False
@@ -657,6 +957,11 @@ class JobTracker:
                     except (TaskFailure, Interrupted):
                         interrupted = True
                     if interrupted:
+                        if lost_race:
+                            self._teardown_losing_reduce(
+                                consumer, tt, reduce_id, attempt, started
+                            )
+                            return
                         if migrated:
                             ctx.counters.add("reduce.migrated", 1)
                             if ctx.integrity is not None:
@@ -671,45 +976,47 @@ class JobTracker:
                         ctx.spans.append(
                             TaskSpan(
                                 "reduce", reduce_id, attempt, tt.name,
-                                started, self.sim.now, ok=False,
+                                started, self.sim.now, ok=False, killed=True,
                             )
                         )
-                        attempt += 1  # fresh attempt id, not a *failed* one
-                        continue
+                        continue  # fresh attempt id, not a *failed* one
                 elif not run_proc.ok:
                     # The consumer failed in the same timestamp the crash
                     # (or another event) fired; classify its exception.
                     exc = run_proc.value
                     consumer.cancel()
-                    ctx.spans.append(
-                        TaskSpan(
-                            "reduce", reduce_id, attempt, tt.name,
-                            started, self.sim.now, ok=False,
-                        )
-                    )
                     if isinstance(exc, TaskFailure):
-                        attempt += 1
+                        ctx.spans.append(
+                            TaskSpan(
+                                "reduce", reduce_id, attempt, tt.name,
+                                started, self.sim.now, ok=False,
+                            )
+                        )
                         failed_attempts += 1
                         continue
                     if isinstance(exc, Interrupted):
+                        ctx.spans.append(
+                            TaskSpan(
+                                "reduce", reduce_id, attempt, tt.name,
+                                started, self.sim.now, ok=False, killed=True,
+                            )
+                        )
                         ctx.counters.add("reduce.node_lost", 1)
-                        attempt += 1
                         continue
                     raise exc
-                ctx.spans.append(
-                    TaskSpan(
-                        "reduce", reduce_id, attempt, tt.name, started, self.sim.now
-                    )
-                )
-                ctx.counters.add(
-                    "reduce.committed_output_bytes", consumer.bytes_reduced
-                )
-                break
+                if not self._commit_reduce(consumer, tt, reduce_id, attempt, started):
+                    return  # lost the race by a nose; torn down as loser
+                return
             finally:
                 if ctx.control is not None:
                     ctx.control.untrack_attempt(reduce_id)
+                if spec is not None and consumer is not None:
+                    spec.untrack("reduce", reduce_id, attempt, tt.name)
+                if lose is not None:
+                    events = self._reduce_lose.get(reduce_id)
+                    if events is not None and lose in events:
+                        events.remove(lose)
                 tt.reduce_slots.release(slot)
-        self._reduce_done_times.append(self.sim.now)
 
     def _pick_reduce_tracker(self, reduce_id: int) -> TaskTracker:
         """Least-loaded live TaskTracker for a relocated reduce attempt.

@@ -129,6 +129,11 @@ def run_map_task(
             )
             spills.append(spill)
             ctx.counters.add("map.spill_bytes", out_unit)
+            if ctx.speculation is not None:
+                # Map progress = fraction of the split consumed (LATE).
+                ctx.speculation.update(
+                    "map", map_id, attempt, tt.name, read_so_far / block.nbytes
+                )
 
         total_out = block.nbytes * expansion
         ctx.tracer.record(task_name, "map", attempt_start, sim.now, total_out)

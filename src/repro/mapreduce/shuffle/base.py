@@ -196,6 +196,9 @@ class ShuffleConsumer:
         # Attempt-scoped output name (Hadoop's _temporary attempt dirs).
         self.output_file = f"output/part-{reduce_id:05d}.a{attempt}"
         self.bytes_reduced = 0.0
+        #: Segment bytes fetched so far; feeds :meth:`progress` (engines
+        #: either accumulate here or override :meth:`_shuffled_bytes`).
+        self.shuffled_bytes = 0.0
         # Fault injection: decide up front whether this attempt dies and
         # after how much reduced output (paper §VI future work).
         self._fail_after_bytes = float("inf")
@@ -354,6 +357,27 @@ class ShuffleConsumer:
         and ``gate_paused`` when the corresponding machinery is armed.
         """
         return {}
+
+    # -- progress estimation (LATE speculation) -------------------------------
+
+    def _shuffled_bytes(self) -> float:
+        """Engine hook: bytes fetched so far (default: the accumulator)."""
+        return self.shuffled_bytes
+
+    def progress(self) -> float:
+        """Attempt progress in [0, 1) for the LATE speculator.
+
+        Weighted over the reduce sub-phases the way Hadoop's ReduceTask
+        reports: shuffle counts double (copy + the sort/merge it feeds),
+        the reduce/write phase once.  Capped below 1.0 — a live attempt is
+        never "done" until it actually commits.
+        """
+        expected = self.ctx.conf.data_bytes / max(1, self.ctx.conf.n_reduces)
+        if expected <= 0:
+            return 0.0
+        shuffle = min(1.0, self._shuffled_bytes() / expected)
+        reduced = min(1.0, self.bytes_reduced / expected)
+        return min(0.99, (2.0 * shuffle + reduced) / 3.0)
 
     # -- shared helpers -------------------------------------------------------
 

@@ -260,6 +260,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
                 # Too large for memory: stream straight to a disk run.
                 t0 = self.ctx.sim.now
                 yield from self._fetch_segment(meta)
+                self.shuffled_bytes += seg_bytes
                 run = self._new_run_file(f"seg-m{meta.map_id}")
                 yield from self.node.fs.write(
                     run, seg_bytes, stream_id=f"shufspill-r{self.reduce_id}"
@@ -289,6 +290,7 @@ class HttpShuffleConsumer(ShuffleConsumer):
                         self._mem_hwm = used
                     t0 = self.ctx.sim.now
                     yield from self._fetch_segment(meta)
+                    self.shuffled_bytes += seg_bytes
                 finally:
                     if self._credit_gate is not None:
                         self._credit_gate.release()
@@ -568,7 +570,9 @@ class HttpShuffleConsumer(ShuffleConsumer):
         if mem_total > 0:
             self.mem.put(mem_total)
             self.mem_bytes = 0.0
-        self.ctx.counters.add("reduce.completed", 1)
+        # reduce.completed is counted by the JobTracker at commit time
+        # (commit-once: a losing speculative attempt that finishes its
+        # pipeline must not count).
 
     def _read_part(self, nbytes: float) -> Generator[Event, Any, None]:
         """Read ``nbytes`` of merged input spread across the disk runs."""

@@ -387,6 +387,10 @@ class StreamingConsumer(ShuffleConsumer):
         self._signal()
         return True
 
+    def _shuffled_bytes(self) -> float:
+        """Fetch progress straight from the per-map stream offsets."""
+        return sum(s.offset for s in self.states.values())
+
     def control_signals(self) -> dict[str, float]:
         if self.capacity <= 0:
             return {}
@@ -430,7 +434,9 @@ class StreamingConsumer(ShuffleConsumer):
                 self.ctx.board.remove_replacement_listener(self._on_replacement)
         if self.ctx.conf.backpressure_active:
             self.ctx.counters.peak("shuffle.mem.high_water_bytes", self._mem_hwm)
-        self.ctx.counters.add("reduce.completed", 1)
+        # reduce.completed is counted by the JobTracker at commit time
+        # (commit-once: a losing speculative attempt that finishes its
+        # pipeline must not count).
 
     def _on_replacement(self, meta: MapOutputMeta) -> None:
         """A re-executed map's new output is available: re-point its run.

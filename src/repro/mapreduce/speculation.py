@@ -1,0 +1,252 @@
+"""LATE-style speculative execution: progress rates + backup-attempt picks.
+
+Hadoop's answer to stragglers — a node that is merely *slow* (contended
+CPU, degraded link, sick disk; see the degradation entries in
+:mod:`repro.faults`) — is to launch a backup attempt of the laggard task
+elsewhere and let the two race; the first to finish commits, the loser is
+killed (not failed).  The stock 0.20 heuristic compares *progress* against
+the average; LATE (Zaharia et al., OSDI'08) compares estimated *time to
+finish* computed from each attempt's progress **rate**, which is the
+version reproduced here:
+
+* every attempt reports progress in ``[0, 1]`` — maps as the fraction of
+  input consumed, reduces through the engine's shuffle/sort/reduce
+  sub-phase weighting (:meth:`ShuffleConsumer.progress`);
+* an attempt is speculation-eligible when its projected total runtime
+  ``age / progress`` exceeds ``speculative_threshold`` x the median
+  runtime of already-completed tasks of the same kind;
+* among eligible attempts the one with the *slowest* progress rate is
+  backed up first (it hurts the tail most), subject to a per-job cap
+  (``speculative_cap``) and a free-slot healthy-tracker placement.
+
+Everything is deterministic: the speculator scans on a fixed interval,
+candidates are visited in sorted ``(kind, task_id, attempt)`` order, and
+placement reuses the scheduler's quarantine/steering machinery.  The
+:class:`Speculator` exists only when a ``speculative_*`` knob is set;
+knob-free runs never touch this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.monitor import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.context import JobContext
+
+__all__ = ["AttemptProgress", "Speculator", "pick_straggler"]
+
+#: Counter keys pre-seeded so the speculation.* namespace is key-stable
+#: across runs regardless of whether any backup actually launched.
+COUNTER_KEYS = (
+    "scans",
+    "map_backups",
+    "reduce_backups",
+    "wins",
+    "losers_killed",
+    "wasted_output_bytes",
+    "capped",
+    "no_slot",
+)
+
+#: Decision-log cap: keeps phase_report bounded on long chaotic runs.
+_MAX_DECISIONS = 512
+
+
+@dataclass
+class AttemptProgress:
+    """Progress-rate estimate for one live task attempt."""
+
+    kind: str  # "map" | "reduce"
+    task_id: int
+    attempt: int
+    node: str
+    started: float
+    progress: float = 0.0
+    #: Reduce attempts are polled (the consumer knows its sub-phases);
+    #: map attempts push updates as input units are consumed.
+    poll: object = field(default=None, repr=False)
+
+    def advance(self, progress: float) -> None:
+        """Monotone update clamped to [0, 1] (estimates never regress)."""
+        self.progress = min(1.0, max(self.progress, float(progress)))
+
+    def rate(self, now: float) -> float:
+        """Progress per second since the attempt started (0 when unknown)."""
+        age = now - self.started
+        if age <= 0 or self.progress <= 0:
+            return 0.0
+        return self.progress / age
+
+    def est_total(self, now: float) -> float:
+        """Projected total runtime at the current rate (inf when unknown)."""
+        age = now - self.started
+        if age <= 0 or self.progress <= 0:
+            return float("inf")
+        return age / self.progress
+
+    def est_finish(self, now: float) -> float:
+        """Projected completion timestamp (LATE's ranking quantity)."""
+        return self.started + self.est_total(now)
+
+
+def pick_straggler(
+    estimates: Iterable[AttemptProgress],
+    now: float,
+    median_duration: float,
+    threshold: float,
+) -> AttemptProgress | None:
+    """The LATE pick: slowest-rate attempt projected to lag the job.
+
+    An attempt qualifies when its projected total runtime exceeds
+    ``threshold x median_duration`` (the completed-task median of the same
+    kind); among qualifiers the slowest progress *rate* wins, because the
+    attempt finishing furthest in the future hurts the tail most.
+
+    Deterministic: candidates are scanned in sorted ``(kind, task_id,
+    attempt)`` order with ties broken toward the earliest key.  Returns
+    None when nothing qualifies — in particular, when every attempt
+    progresses at the pace the completed median implies (equal rates mean
+    no *relative* straggler exists, so with ``threshold > 1`` nothing
+    clears the bar).
+    """
+    if median_duration <= 0:
+        return None
+    best: AttemptProgress | None = None
+    best_rate = float("inf")
+    ordered = sorted(estimates, key=lambda e: (e.kind, e.task_id, e.attempt))
+    for est in ordered:
+        age = now - est.started
+        if age <= 0 or est.progress <= 0 or est.progress >= 1.0:
+            # Too young to judge, or effectively finished.
+            continue
+        if est.est_total(now) <= threshold * median_duration:
+            continue
+        rate = est.rate(now)
+        if rate < best_rate:
+            best = est
+            best_rate = rate
+    return best
+
+
+class Speculator:
+    """Per-job LATE runtime: attempt tracking, counters, decision log.
+
+    Owned by the :class:`JobContext` (``ctx.speculation``); the JobTracker
+    feeds it attempt lifecycles and asks for picks on its scan interval.
+    The launch/kill/commit mechanics stay in the JobTracker — this class
+    only estimates and records, so its behavior is trivially unit-testable.
+    """
+
+    def __init__(self, ctx: "JobContext"):
+        self.ctx = ctx
+        conf = ctx.conf
+        self.threshold = float(conf.speculative_threshold)
+        self.cap = int(conf.speculative_cap)
+        self.counters = Counter()
+        for key in COUNTER_KEYS:
+            self.counters.add(key, 0.0)
+        #: (kind, task_id, attempt, node) -> live estimate.
+        self._attempts: dict[tuple[str, int, int, str], AttemptProgress] = {}
+        self.backups_launched = 0
+        self.decisions: list[dict] = []
+        self.decisions_dropped = 0
+
+    # -- attempt lifecycle (fed by the JobTracker / tasks) -------------------
+
+    def track(
+        self, kind: str, task_id: int, attempt: int, node: str, poll=None
+    ) -> AttemptProgress:
+        est = AttemptProgress(
+            kind, task_id, attempt, node, started=self.ctx.sim.now, poll=poll
+        )
+        self._attempts[(kind, task_id, attempt, node)] = est
+        return est
+
+    def update(
+        self, kind: str, task_id: int, attempt: int, node: str, progress: float
+    ) -> None:
+        est = self._attempts.get((kind, task_id, attempt, node))
+        if est is not None:
+            est.advance(progress)
+
+    def untrack(self, kind: str, task_id: int, attempt: int, node: str) -> None:
+        self._attempts.pop((kind, task_id, attempt, node), None)
+
+    def estimates(
+        self, kind: str, exclude_tasks: set[int] | frozenset[int] = frozenset()
+    ) -> list[AttemptProgress]:
+        """Live estimates of one kind, refreshed from pollable consumers."""
+        out = []
+        for est in self._attempts.values():
+            if est.kind != kind or est.task_id in exclude_tasks:
+                continue
+            if est.poll is not None:
+                est.advance(est.poll())
+            out.append(est)
+        return out
+
+    # -- budget --------------------------------------------------------------
+
+    def cap_reached(self) -> bool:
+        return self.cap > 0 and self.backups_launched >= self.cap
+
+    # -- decision log --------------------------------------------------------
+
+    def _decide(self, action: str, **detail) -> None:
+        self.counters.add(action, 1)
+        if len(self.decisions) < _MAX_DECISIONS:
+            self.decisions.append({"t": self.ctx.sim.now, "action": action, **detail})
+        else:
+            self.decisions_dropped += 1
+        now = self.ctx.sim.now
+        self.ctx.tracer.record("speculation", f"speculation-{action}", now, now)
+
+    def note_backup(
+        self, kind: str, task_id: int, straggler: str, target: str, est_total: float
+    ) -> None:
+        self.backups_launched += 1
+        self._decide(
+            f"{kind}_backups",
+            task=task_id,
+            straggler=straggler,
+            target=target,
+            est_total=round(est_total, 3),
+        )
+
+    def note_win(self, kind: str, task_id: int, node: str) -> None:
+        self._decide("wins", kind=kind, task=task_id, node=node)
+
+    def note_loser(self, kind: str, task_id: int, node: str, wasted: float) -> None:
+        if wasted > 0:
+            self.counters.add("wasted_output_bytes", wasted)
+        self._decide("losers_killed", kind=kind, task=task_id, node=node)
+
+    def note_capped(self, kind: str, task_id: int) -> None:
+        self._decide("capped", kind=kind, task=task_id)
+
+    def note_no_slot(self, kind: str, task_id: int) -> None:
+        self._decide("no_slot", kind=kind, task=task_id)
+
+    # -- reporting -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        return dict(self.counters.as_dict())
+
+    def report(self) -> dict:
+        """The ``phase_report["speculation"]`` payload."""
+        out = {
+            "counters": self.metrics_snapshot(),
+            "decisions": list(self.decisions),
+        }
+        if self.decisions_dropped:
+            out["decisions_dropped"] = self.decisions_dropped
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Speculator backups={self.backups_launched} "
+            f"live={len(self._attempts)}>"
+        )

@@ -271,6 +271,31 @@ class FlowNetwork:
         self._mark_dirty(dirty if dirty else flow.links)
         return event
 
+    def set_capacity(self, link: Link, capacity: float) -> None:
+        """Change a link's capacity mid-run and re-rate everyone affected.
+
+        The degradation-fault actuator (:class:`repro.faults.LinkDegrade`):
+        bandwidth is cut or restored without the link flapping, so
+        in-flight flows neither fail nor restart — they just re-rate.  In
+        incremental mode the link seeds its own dirty component; seed
+        links are traversed unconditionally by ``_component``, so even a
+        link that was transparent at the old capacity re-rates its flows.
+        """
+        if capacity <= 0:
+            raise ValueError(f"link {link.name!r}: capacity must be positive")
+        if capacity == link.capacity:
+            return
+        if not self.incremental:
+            self._advance_progress()
+            link.capacity = float(capacity)
+            self._rerate()
+            return
+        # Rates drained at flush time use each flow's stored _rate, so
+        # mutating the capacity now (before the deferred flush advances
+        # progress) still bills the pre-change interval at the old rates.
+        link.capacity = float(capacity)
+        self._mark_dirty([link])
+
     @property
     def active_flows(self) -> int:
         return len(self._flows)

@@ -97,6 +97,11 @@ class DiskDevice:
         self.bytes_written = 0.0
         self.seeks = 0
         self.requests = 0
+        #: Set by ``FaultInjector.bind`` only when a DiskSlowdown window
+        #: names this device's node; healthy disks pay one None test.
+        self.faults = None
+        self.fault_node = ""
+        self.fault_index = -1
         sim.process(self._server(), name=f"disk:{self.name}")
 
     # -- public API ---------------------------------------------------------
@@ -146,6 +151,10 @@ class DiskDevice:
             t += self.spec.seek_time
             self.seeks += 1
             self._last_stream = req.stream_id
+        if self.faults is not None:
+            # Requests arrive pre-chunked (a few MB), so sampling the
+            # DiskSlowdown window once per request is fine-grained enough.
+            t *= self.faults.disk_factor(self.fault_node, self.fault_index)
         return t
 
     def _server(self) -> Generator[Event, Any, None]:

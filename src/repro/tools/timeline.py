@@ -16,7 +16,13 @@ __all__ = ["TaskSpan", "phase_breakdown", "render_gantt"]
 
 @dataclass(frozen=True)
 class TaskSpan:
-    """One task attempt's lifetime on a node."""
+    """One task attempt's lifetime on a node.
+
+    ``ok=False`` alone means the attempt *failed* (burned retry budget);
+    ``ok=False, killed=True`` means it was *killed* — lost a speculative
+    race, node crash, controller migration — which in Hadoop semantics is
+    not a failure and doesn't count against max attempts.
+    """
 
     kind: str  # "map" | "reduce"
     task_id: int
@@ -25,13 +31,14 @@ class TaskSpan:
     start: float
     end: float
     ok: bool = True
+    killed: bool = False
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
     def label(self) -> str:
-        suffix = "" if self.ok else "!"
+        suffix = "~" if self.killed else ("" if self.ok else "!")
         return f"{self.kind[0]}{self.task_id}.{self.attempt}{suffix}"
 
 
@@ -46,7 +53,10 @@ def phase_breakdown(spans: list[TaskSpan]) -> dict[str, float]:
         out[f"{kind}.last_end"] = max(s.end for s in mine)
         out[f"{kind}.busy_task_seconds"] = sum(s.duration for s in mine)
         out[f"{kind}.attempts"] = float(len(mine))
-        out[f"{kind}.failed_attempts"] = float(sum(1 for s in mine if not s.ok))
+        out[f"{kind}.failed_attempts"] = float(
+            sum(1 for s in mine if not s.ok and not s.killed)
+        )
+        out[f"{kind}.killed_attempts"] = float(sum(1 for s in mine if s.killed))
     if "map.last_end" in out and "reduce.last_end" in out:
         out["overlap_seconds"] = max(
             0.0, out["map.last_end"] - out["reduce.first_start"]
@@ -62,7 +72,8 @@ def render_gantt(
     """ASCII Gantt chart: one row per (node, slot lane), time left-to-right.
 
     Map attempts render as ``m``, reduce attempts as ``R``, failed
-    attempts as ``x``.
+    attempts as ``x``, killed attempts (lost speculative races, crashes)
+    as ``k``.
     """
     if not spans:
         return "(no task spans recorded)\n"
@@ -92,7 +103,12 @@ def render_gantt(
             for s in lane:
                 a = int((s.start - t0) * scale)
                 b = max(a + 1, int((s.end - t0) * scale))
-                mark = "x" if not s.ok else ("m" if s.kind == "map" else "R")
+                if s.killed:
+                    mark = "k"
+                elif not s.ok:
+                    mark = "x"
+                else:
+                    mark = "m" if s.kind == "map" else "R"
                 for i in range(a, min(b, width)):
                     row[i] = mark
             lines.append("  |" + "".join(row))

@@ -166,6 +166,7 @@ def test_gate_registry_covers_every_non_figure_benchmark():
         "skew",
         "integrity",
         "control",
+        "stragglers",
         "sweep",
     }
     kinds = {gate.kind for gate in bench_trend.GATES.values()}
@@ -196,6 +197,36 @@ def test_control_floor_is_absolute(dirs):
     _write(fresh, "BENCH_control.json", {**doc, "speedup": 0.97})
     problems, _ = bench_trend.check(fresh, base, tolerance=0.05)
     assert problems and "lost to the best static" in problems[0]
+
+
+def _stragglers_doc(speedup: float, agree: bool = True) -> dict:
+    return {
+        "benchmark": "stragglers",
+        "figure": "stragglers",
+        "scale": 0.05,
+        "speedup": speedup,
+        "no_speculation_seconds": 100.0,
+        "speculation_seconds": 100.0 / speedup,
+        "output_bytes_agree": agree,
+    }
+
+
+def test_stragglers_floor_is_absolute(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_stragglers.json", _stragglers_doc(1.05))
+    # Within tolerance of the baseline, but below 1: speculation must win.
+    _write(fresh, "BENCH_stragglers.json", _stragglers_doc(0.98))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.15)
+    assert problems and "lost to no-speculation" in problems[0]
+
+
+def test_stragglers_gate_requires_identical_output(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_stragglers.json", _stragglers_doc(1.5))
+    # Even a faster run fails if commit-once broke the output bytes.
+    _write(fresh, "BENCH_stragglers.json", _stragglers_doc(2.0, agree=False))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.15)
+    assert problems and "output_bytes_agree" in problems[0]
 
 
 def test_sweep_gate_passes_when_identical_and_fast(dirs):

@@ -40,6 +40,27 @@ def test_phase_breakdown_empty():
     assert phase_breakdown([]) == {}
 
 
+def test_killed_attempts_are_not_failures():
+    """Killed-not-failed: a lost speculative race shows up in
+    ``killed_attempts``, never in ``failed_attempts``."""
+    spans = spans_demo() + [
+        TaskSpan("reduce", 1, 0, "n1", 5.0, 35.0, ok=False, killed=True),
+        TaskSpan("reduce", 1, 1, "n0", 20.0, 32.0),
+    ]
+    phases = phase_breakdown(spans)
+    assert phases["reduce.killed_attempts"] == 1
+    assert phases["reduce.failed_attempts"] == 0
+    assert phases["map.killed_attempts"] == 0
+    assert phases["map.failed_attempts"] == 1
+
+
+def test_killed_span_label_and_gantt_mark():
+    killed = TaskSpan("reduce", 2, 1, "n1", 1.0, 9.0, ok=False, killed=True)
+    assert killed.label() == "r2.1~"
+    text = render_gantt(spans_demo() + [killed], width=60)
+    assert "k" in text
+
+
 def test_render_gantt_marks_and_lanes():
     text = render_gantt(spans_demo(), width=60)
     assert "n0:" in text and "n1:" in text

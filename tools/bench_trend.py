@@ -117,6 +117,21 @@ GATES: dict[str, Gate] = {
             "static",
         ),
     ),
+    # Speculation / no-speculation under a degraded node, around 1.5x;
+    # the >= 1 floor and output byte-identity are absolute.
+    "stragglers": Gate(
+        kind="min_speedup",
+        tolerance=0.15,
+        floor=1.0,
+        floor_message="speculation lost to no-speculation under the slowdown plan",
+        require_true=("output_bytes_agree",),
+        baseline_keys=(
+            "speedup",
+            "no_speculation_seconds",
+            "speculation_seconds",
+            "output_bytes_agree",
+        ),
+    ),
     # Parallel sweep: bit-identity is absolute; the wall-clock speedup
     # is compared only on machines with enough CPUs to host the workers.
     "sweep": Gate(
