@@ -221,11 +221,18 @@ class ControlPlane:
 
     def run(self) -> Generator[Event, Any, None]:
         """The controller process; runs until the job's done event stops
-        the simulation (pending ticks are simply never processed)."""
+        the simulation (pending ticks are simply never processed) — or
+        until a master crash interrupts it (the recovered JobTracker
+        starts a fresh controller process)."""
+        from repro.sim.core import Interrupted
+
         sim = self.ctx.sim
-        while True:
-            yield sim.timeout(self.interval)
-            self._tick()
+        try:
+            while True:
+                yield sim.timeout(self.interval)
+                self._tick()
+        except Interrupted:
+            return
 
     def _tick(self) -> None:
         self.counters.add("ticks", 1)

@@ -127,7 +127,12 @@ class VirtualMerger:
             if actual - cov > _EPS:
                 heapq.heapreplace(self._heap, (actual, run_id))
             else:
-                return actual
+                # Return the heap entry, not ``actual``: every entry is a
+                # lower bound on its run's coverage, so the top is <= the
+                # true minimum — ``actual`` can exceed another run's
+                # coverage by up to _EPS, and that overshoot scales to
+                # whole emitted-but-undelivered bytes at GB totals.
+                return cov
         return 1.0  # pragma: no cover - heap never empties while runs exist
 
     def drainable_bytes(self) -> float:

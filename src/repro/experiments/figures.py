@@ -61,11 +61,27 @@ def _grid_point(
     n_disks: int,
     seed: int,
     overrides: dict | None = None,
+    fault_plan: str | None = None,
 ) -> JobResult:
-    """One figure grid point (module-level: spawn-safe for sweep workers)."""
+    """One figure grid point (module-level: spawn-safe for sweep workers).
+
+    ``fault_plan`` names a standard seeded plan (``--fault-plan`` on the
+    CLI): the point first runs fault-free to measure the runtime hint the
+    plan's windows scale off, then re-runs under the plan.
+    """
     conf = _WORKLOADS[workload](size_bytes, n_nodes, engine, **(overrides or {}))
     nodes = westmere_cluster(n_nodes, n_disks=n_disks, node_kind=node_kind)
-    return run_job(nodes, fabric, conf, seed=seed)
+    if fault_plan is None:
+        return run_job(nodes, fabric, conf, seed=seed)
+    import dataclasses
+
+    from repro.faults import named_plan
+
+    hint = run_job(nodes, fabric, conf, seed=seed).execution_time
+    plan = named_plan(fault_plan, [n.name for n in nodes], hint)
+    return run_job(
+        nodes, fabric, dataclasses.replace(conf, fault_plan=plan), seed=seed
+    )
 
 
 def _run_grid(
@@ -100,6 +116,7 @@ def _sweep(
     scale: float,
     seed: int,
     workers: int | None = None,
+    fault_plan: str | None = None,
 ) -> None:
     grid: list[tuple[str, float, SweepPoint]] = []
     for n_disks in disks_options:
@@ -122,6 +139,9 @@ def _sweep(
                                 n_disks,
                                 seed,
                             ),
+                            kwargs=(
+                                {"fault_plan": fault_plan} if fault_plan else {}
+                            ),
                             key=(fig.figure, f"{label}{suffix}", size_gb),
                         ),
                     )
@@ -129,7 +149,12 @@ def _sweep(
     _run_grid(fig, grid, workers)
 
 
-def fig4a(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig4a(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 4(a): TeraSort, 4 DataNodes, 20-40 GB, 1 and 2 HDDs."""
     fig = FigureResult(
         figure="fig4a",
@@ -147,11 +172,17 @@ def fig4a(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figu
         scale=scale,
         seed=seed,
         workers=workers,
+        fault_plan=fault_plan,
     )
     return fig
 
 
-def fig4b(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig4b(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 4(b): TeraSort, 8 DataNodes, 60-100 GB, 1 and 2 HDDs."""
     fig = FigureResult(
         figure="fig4b",
@@ -169,11 +200,17 @@ def fig4b(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figu
         scale=scale,
         seed=seed,
         workers=workers,
+        fault_plan=fault_plan,
     )
     return fig
 
 
-def fig5(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig5(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 5: TeraSort on storage nodes — 100 GB @ 12 nodes, 200 GB @ 24.
 
     Storage nodes carry 24 GB RAM (twice the compute nodes'), which the
@@ -204,6 +241,7 @@ def fig5(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figur
                             1,
                             seed,
                         ),
+                        kwargs=({"fault_plan": fault_plan} if fault_plan else {}),
                         key=("fig5", label, size_gb),
                     ),
                 )
@@ -212,7 +250,12 @@ def fig5(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figur
     return fig
 
 
-def fig6a(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig6a(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 6(a): Sort benchmark, 4 DataNodes, 5-20 GB, single HDD."""
     fig = FigureResult(
         figure="fig6a",
@@ -230,11 +273,17 @@ def fig6a(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figu
         scale=scale,
         seed=seed,
         workers=workers,
+        fault_plan=fault_plan,
     )
     return fig
 
 
-def fig6b(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig6b(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 6(b): Sort benchmark, 8 DataNodes, 25-40 GB, single HDD."""
     fig = FigureResult(
         figure="fig6b",
@@ -252,11 +301,17 @@ def fig6b(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figu
         scale=scale,
         seed=seed,
         workers=workers,
+        fault_plan=fault_plan,
     )
     return fig
 
 
-def fig7(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig7(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 7: Sort benchmark with SSD as the HDFS data store."""
     fig = FigureResult(
         figure="fig7",
@@ -274,11 +329,17 @@ def fig7(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figur
         scale=scale,
         seed=seed,
         workers=workers,
+        fault_plan=fault_plan,
     )
     return fig
 
 
-def fig8(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> FigureResult:
+def fig8(
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_plan: str | None = None,
+) -> FigureResult:
     """Figure 8: effect of the caching mechanism (Sort on SSD).
 
     Series: IPoIB baseline, OSU-IB with mapred.local.caching.enabled
@@ -314,7 +375,11 @@ def fig8(scale: float = 1.0, seed: int = 0, workers: int | None = None) -> Figur
                             1,
                             seed,
                         ),
-                        kwargs={"overrides": overrides},
+                        kwargs=(
+                            {"overrides": overrides, "fault_plan": fault_plan}
+                            if fault_plan
+                            else {"overrides": overrides}
+                        ),
                         key=("fig8", label, size_gb),
                     ),
                 )

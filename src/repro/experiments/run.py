@@ -59,6 +59,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="cProfile each figure run and print the top hotspots to stderr",
     )
+    parser.add_argument(
+        "--fault-plan",
+        choices=["standard", "corruption", "slowdown", "master"],
+        help="run every grid point under a named seeded fault plan "
+        "(each point probes fault-free first for the runtime hint the "
+        "plan's windows scale off)",
+    )
     parser.add_argument("--out", type=Path, help="directory for .txt tables")
     parser.add_argument(
         "--json",
@@ -75,7 +82,10 @@ def main(argv: list[str] | None = None) -> int:
         t0 = time.time()
         with maybe_profile(name, enabled=args.profile):
             fig = ALL_FIGURES[name](
-                scale=args.scale, seed=args.seed, workers=args.workers
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
+                fault_plan=args.fault_plan,
             )
         table = fig.render()
         claims = _claims(fig)

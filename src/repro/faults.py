@@ -35,6 +35,14 @@ Fault kinds
   disk requests take longer.  These are the straggler generators the
   LATE speculator (:mod:`repro.mapreduce.speculation`) exists to defeat;
   no retry or checksum machinery ever notices them.
+* :class:`MasterCrash` / :class:`MasterStall` — *control-plane* faults:
+  the JobTracker process itself dies (or hangs for a window) mid-job.
+  These entries name no cluster node — the master is not a DataNode —
+  and are driven by the :class:`repro.mapreduce.journal.MasterSupervisor`
+  rather than the injector's timeline processes, because killing the
+  master means interrupting the very scheduler the injector would
+  otherwise report to.  Recovery (journal replay, lease fencing,
+  TaskTracker re-registration) lives in :mod:`repro.mapreduce.journal`.
 
 Everything is deterministic: plan times are fixed simulation timestamps
 and the only randomness (disk errors) comes from the cluster's seeded
@@ -61,16 +69,21 @@ __all__ = [
     "FaultPlan",
     "LinkDegrade",
     "LinkFlap",
+    "MasterCrash",
+    "MasterStall",
     "NodeCrash",
     "NodeSlowdown",
     "ResponderStall",
     "SegmentFault",
     "WireCorruption",
+    "named_plan",
     "seeded_corruption_plan",
     "seeded_fault_plan",
+    "seeded_master_plan",
     "seeded_slowdown_plan",
     "standard_corruption_plan",
     "standard_fault_plan",
+    "standard_master_plan",
     "standard_slowdown_plan",
 ]
 
@@ -210,6 +223,51 @@ class DiskSlowdown:
 
 
 @dataclass(frozen=True)
+class MasterCrash:
+    """The JobTracker process dies at ``at`` seconds.
+
+    Names no cluster node: the master is a control-plane process, not a
+    DataNode.  The supervising harness fences the journal epoch, waits
+    out the lease + restart delay, and replays the journal — see
+    :mod:`repro.mapreduce.journal`.
+    """
+
+    at: float
+
+
+@dataclass(frozen=True)
+class MasterStall:
+    """The JobTracker hangs (GC pause / scheduler livelock) for a window.
+
+    A stall shorter than the TaskTracker lease timeout is survived in
+    place — heartbeats resume before anyone parks.  A longer stall is
+    indistinguishable from a crash to the workers and triggers the same
+    fence-and-restart failover (the stalled incarnation becomes a zombie
+    whose late writes the fencing epoch rejects).
+    """
+
+    at: float
+    duration: float
+
+
+def _validated(field: str, entries, check) -> None:
+    """Run ``check(entry)`` over ``entries``; re-raise naming the offender.
+
+    A bad entry deep in a long plan used to report only the failing
+    field value; now every validation error reads like
+    ``crashes[2] (NodeCrash): fault time -1.0 is negative`` so the
+    offending entry can be found without bisecting the plan by hand.
+    """
+    for i, entry in enumerate(entries):
+        try:
+            check(entry)
+        except ValueError as exc:
+            raise ValueError(
+                f"{field}[{i}] ({type(entry).__name__}): {exc}"
+            ) from None
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, hashable fault schedule (safe inside the frozen JobConf)."""
 
@@ -226,30 +284,65 @@ class FaultPlan:
     slowdowns: tuple[NodeSlowdown, ...] = ()
     link_degrades: tuple[LinkDegrade, ...] = ()
     disk_slowdowns: tuple[DiskSlowdown, ...] = ()
+    #: Control-plane entries (JobTracker crash/stall; recovered by the
+    #: journal/lease/fencing machinery in repro.mapreduce.journal).
+    master_crashes: tuple[MasterCrash, ...] = ()
+    master_stalls: tuple[MasterStall, ...] = ()
     name: str = "plan"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.disk_error_rate < 1.0:
             raise ValueError(f"disk_error_rate {self.disk_error_rate} not in [0, 1)")
-        degradations = (*self.slowdowns, *self.link_degrades, *self.disk_slowdowns)
-        for fault in (*self.crashes, *self.flaps, *self.stalls, *degradations):
-            if fault.at < 0:
-                raise ValueError(f"fault time {fault.at} is negative: {fault}")
-        for window in (*self.flaps, *self.stalls, *degradations):
-            if window.duration <= 0:
-                raise ValueError(f"non-positive window duration: {window}")
-        for entry in degradations:
-            if entry.factor <= 0:
-                raise ValueError(f"non-positive degradation factor: {entry}")
-        for entry in (*self.disk_corruptions, *self.wire_corruptions, *self.segment_faults):
-            if not 0.0 <= entry.rate < 1.0:
-                raise ValueError(f"corruption rate {entry.rate} not in [0, 1): {entry}")
-        for disk in self.disk_corruptions:
-            if not 0.0 <= disk.rot_rate < 1.0:
-                raise ValueError(f"rot_rate {disk.rot_rate} not in [0, 1): {disk}")
-        for seg in self.segment_faults:
-            if seg.kind not in ("truncated", "stale"):
-                raise ValueError(f"unknown segment fault kind {seg.kind!r}")
+
+        def nonneg_at(e):
+            if e.at < 0:
+                raise ValueError(f"fault time {e.at} is negative")
+
+        def positive_duration(e):
+            if e.duration <= 0:
+                raise ValueError(f"non-positive window duration {e.duration}")
+
+        def positive_factor(e):
+            if e.factor <= 0:
+                raise ValueError(f"non-positive degradation factor {e.factor}")
+
+        def valid_rate(e):
+            if not 0.0 <= e.rate < 1.0:
+                raise ValueError(f"corruption rate {e.rate} not in [0, 1)")
+
+        def valid_rot(e):
+            if not 0.0 <= e.rot_rate < 1.0:
+                raise ValueError(f"rot_rate {e.rot_rate} not in [0, 1)")
+
+        def valid_kind(e):
+            if e.kind not in ("truncated", "stale"):
+                raise ValueError(f"unknown segment fault kind {e.kind!r}")
+
+        timed = {
+            "crashes": self.crashes,
+            "flaps": self.flaps,
+            "stalls": self.stalls,
+            "slowdowns": self.slowdowns,
+            "link_degrades": self.link_degrades,
+            "disk_slowdowns": self.disk_slowdowns,
+            "master_crashes": self.master_crashes,
+            "master_stalls": self.master_stalls,
+        }
+        for field, entries in timed.items():
+            _validated(field, entries, nonneg_at)
+        for field in ("flaps", "stalls", "master_stalls"):
+            _validated(field, timed[field], positive_duration)
+        for field in ("slowdowns", "link_degrades", "disk_slowdowns"):
+            _validated(field, timed[field], positive_duration)
+            _validated(field, timed[field], positive_factor)
+        for field, entries in (
+            ("disk_corruptions", self.disk_corruptions),
+            ("wire_corruptions", self.wire_corruptions),
+            ("segment_faults", self.segment_faults),
+        ):
+            _validated(field, entries, valid_rate)
+        _validated("disk_corruptions", self.disk_corruptions, valid_rot)
+        _validated("segment_faults", self.segment_faults, valid_kind)
 
     @property
     def empty(self) -> bool:
@@ -260,6 +353,7 @@ class FaultPlan:
             or self.disk_error_rate > 0
             or self.has_corruption
             or self.has_degradation
+            or self.has_master_faults
         )
 
     @property
@@ -272,13 +366,19 @@ class FaultPlan:
     def has_degradation(self) -> bool:
         return bool(self.slowdowns or self.link_degrades or self.disk_slowdowns)
 
+    @property
+    def has_master_faults(self) -> bool:
+        return bool(self.master_crashes or self.master_stalls)
+
     def nodes_referenced(self) -> set[str]:
         """Every node any entry names — crashes, windows, corruption,
         *and* degradation.
 
         ``FaultInjector`` validates this set against the cluster, so a
         typo'd node in any entry kind fails fast instead of silently
-        never firing.
+        never firing.  Master entries are covered by construction: they
+        carry no ``node`` field (the JobTracker is a control-plane
+        process, not a DataNode), so there is no name to typo.
         """
         return {
             f.node
@@ -533,6 +633,82 @@ def seeded_slowdown_plan(
     )
 
 
+def standard_master_plan(
+    node_names: Sequence[str],
+    runtime_hint: float,
+    name: str = "master",
+) -> FaultPlan:
+    """The master-resilience benchmark schedule: one JobTracker crash.
+
+    The crash lands at 45% of the fault-free runtime — maps are largely
+    done and reducers are mid-shuffle, so recovery must re-register the
+    committed map outputs from TaskTracker storage *and* reschedule the
+    in-flight reduces without double-committing any that finished.
+    ``node_names`` is accepted for signature parity with the other
+    standard plans (master entries name no node).
+    """
+    if runtime_hint <= 0:
+        raise ValueError(f"runtime_hint must be positive, got {runtime_hint}")
+    del node_names  # master faults are control-plane; no node to pick
+    return FaultPlan(
+        master_crashes=(MasterCrash(at=0.45 * runtime_hint),),
+        name=name,
+    )
+
+
+def seeded_master_plan(
+    seed: int, node_names: Sequence[str], runtime_hint: float
+) -> FaultPlan:
+    """A randomized-but-reproducible master plan: same seed, same plan.
+
+    Draws either a mid-job crash or a stall; stall durations straddle
+    realistic lease timeouts so some seeds are survived in place and
+    others trigger the full fence-and-restart failover.
+    """
+    import numpy as np
+
+    del node_names
+    if runtime_hint <= 0:
+        raise ValueError(f"runtime_hint must be positive, got {runtime_hint}")
+    rng = np.random.default_rng(seed)
+    at = float(rng.uniform(0.25, 0.7)) * runtime_hint
+    if rng.uniform() < 0.6:
+        return FaultPlan(
+            master_crashes=(MasterCrash(at=at),),
+            name=f"seeded-master-{seed}",
+        )
+    return FaultPlan(
+        master_stalls=(
+            MasterStall(at=at, duration=float(rng.uniform(0.05, 0.5)) * runtime_hint),
+        ),
+        name=f"seeded-master-{seed}",
+    )
+
+
+def named_plan(
+    name: str, node_names: Sequence[str], runtime_hint: float
+) -> FaultPlan:
+    """Build one of the standard plans by name (the ``--fault-plan`` CLI).
+
+    ``standard`` is the crash+flap chaos schedule, ``corruption`` the
+    silent-data-corruption schedule, ``slowdown`` the straggler schedule,
+    ``master`` the JobTracker-crash schedule.  All scale their windows
+    off ``runtime_hint`` (a measured fault-free runtime) where relevant.
+    """
+    builders: dict[str, Callable[[], FaultPlan]] = {
+        "standard": lambda: standard_fault_plan(node_names, runtime_hint),
+        "corruption": lambda: standard_corruption_plan(node_names),
+        "slowdown": lambda: standard_slowdown_plan(node_names, runtime_hint),
+        "master": lambda: standard_master_plan(node_names, runtime_hint),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown plan name {name!r}; pick from {sorted(builders)}"
+        ) from None
+
+
 class FaultInjector:
     """Runtime of one :class:`FaultPlan` on one cluster/job.
 
@@ -568,6 +744,15 @@ class FaultInjector:
             "disk_slowdowns",
         ):
             self.counters.add(key, 0.0)
+        if plan.has_master_faults:
+            # Pre-seeded only when the plan actually carries master
+            # entries, so existing fault runs' counter key sets (and
+            # their exported reports) stay byte-identical.  The
+            # MasterSupervisor ticks these — the injector has no driver
+            # for control-plane faults (it cannot outlive the master's
+            # death the way node-crash drivers outlive a worker's).
+            self.counters.add("master_crashes", 0.0)
+            self.counters.add("master_stalls", 0.0)
         self.crashed: set[str] = set()
         self._crash_events: dict[str, Event] = {}
         self._flap_windows: dict[str, list[tuple[float, float]]] = {}

@@ -45,13 +45,22 @@ class CompletionBoard:
         #: Fault recovery: ``fn(meta)`` hooks fired when a re-executed
         #: map's replacement output is announced (empty without faults).
         self._replacement_listeners: list = []
+        #: Master recovery: bumped by :meth:`rebuild` so notification
+        #: processes launched by a dead incarnation can't pollute the
+        #: rebuilt backlog (stays 0 on journal-free runs).
+        self._generation = 0
 
     def publish(self, meta: MapOutputMeta) -> None:
         delay = self.ctx.conf.costs.map_completion_notify
-        self.ctx.sim.process(self._deliver(meta, delay), name=f"notify:m{meta.map_id}")
+        self.ctx.sim.process(
+            self._deliver(meta, delay, self._generation),
+            name=f"notify:m{meta.map_id}",
+        )
 
-    def _deliver(self, meta: MapOutputMeta, delay: float):
+    def _deliver(self, meta: MapOutputMeta, delay: float, generation: int):
         yield self.ctx.sim.timeout(delay)
+        if generation != self._generation:
+            return  # board was rebuilt after a master crash; stale notify
         self._published.append(meta)
         for inbox in self._subscribers:
             inbox.put(meta)
@@ -68,11 +77,14 @@ class CompletionBoard:
         """
         delay = self.ctx.conf.costs.map_completion_notify
         self.ctx.sim.process(
-            self._redeliver(meta, delay), name=f"renotify:m{meta.map_id}"
+            self._redeliver(meta, delay, self._generation),
+            name=f"renotify:m{meta.map_id}",
         )
 
-    def _redeliver(self, meta: MapOutputMeta, delay: float):
+    def _redeliver(self, meta: MapOutputMeta, delay: float, generation: int):
         yield self.ctx.sim.timeout(delay)
+        if generation != self._generation:
+            return  # board was rebuilt after a master crash; stale notify
         for i, old in enumerate(self._published):
             if old.map_id == meta.map_id:
                 self._published[i] = meta
@@ -95,6 +107,19 @@ class CompletionBoard:
             inbox.put(meta)
         self._subscribers.append(inbox)
         return inbox
+
+    def rebuild(self, metas: list[MapOutputMeta]) -> None:
+        """Master recovery: republish the backlog from surviving outputs.
+
+        The recovered JobTracker's consumers subscribe afresh and receive
+        exactly the surviving committed outputs; stale subscriber inboxes,
+        replacement listeners, and in-flight notification processes of the
+        dead incarnation are all dropped.
+        """
+        self._generation += 1
+        self._published = sorted(metas, key=lambda m: m.map_id)
+        self._subscribers = []
+        self._replacement_listeners = []
 
     @property
     def published_count(self) -> int:
@@ -190,6 +215,16 @@ class JobContext:
             from repro.mapreduce.speculation import Speculator
 
             self.speculation = Speculator(self)
+        #: Write-ahead job journal + lease/fencing state (repro.mapreduce
+        #: .journal); None unless master_journal is on or the fault plan
+        #: carries master entries.  Same contract as the other optional
+        #: subsystems: every hook is behind an ``is not None`` check,
+        #: knob-free runs stay bit-identical.
+        self.journal = None
+        if conf.master_active:
+            from repro.mapreduce.journal import JobJournal
+
+            self.journal = JobJournal(self)
         #: Federated metrics tree; actors register their collectors here
         #: (job counters now, cache stats and disks as they come up).
         self.metrics = MetricsRegistry()
@@ -204,6 +239,9 @@ class JobContext:
         if self.speculation is not None:
             # speculation.* appears only when a speculative knob is set.
             self.metrics.register("speculation", self.speculation.metrics_snapshot)
+        if self.journal is not None:
+            # journal.* appears only when the master-resilience layer runs.
+            self.metrics.register("journal", self.journal.counters)
         if self.faults is not None:
             # faults.* and ucr.* appear in the metrics tree only when a
             # plan is active (no new keys on fault-free BENCH exports).
@@ -261,6 +299,13 @@ class JobContext:
         first_commit = meta.map_id not in self._ever_completed
         self.map_outputs[meta.map_id] = meta
         self.last_map_end = self.sim.now
+        if self.journal is not None:
+            self.journal.append(
+                "map_committed",
+                map_id=meta.map_id,
+                host=meta.host,
+                nbytes=meta.total_bytes,
+            )
         if first_commit:
             self._ever_completed.add(meta.map_id)
             self.completed_maps += 1
@@ -275,6 +320,19 @@ class JobContext:
         """A reducer gave up fetching this map output; ask for re-execution."""
         if self.fetch_failure_handler is not None:
             self.fetch_failure_handler(meta)
+
+    def rebuild_completions(self, metas: list[MapOutputMeta]) -> None:
+        """Master recovery: reset completion truth to the surviving outputs.
+
+        ``completed_maps``/``_ever_completed`` restart from the survivors
+        (a map whose only output died with its node is no longer
+        complete), and the board backlog is republished so the recovered
+        incarnation's reducers see exactly the surviving set.
+        """
+        self.map_outputs = {m.map_id: m for m in metas}
+        self._ever_completed = set(self.map_outputs)
+        self.completed_maps = len(self.map_outputs)
+        self.board.rebuild(metas)
 
     # -- memory sizing ---------------------------------------------------------
 

@@ -15,8 +15,16 @@ __all__ = ["run_job", "run_job_on"]
 def run_job_on(cluster: Cluster, conf: JobConf) -> JobResult:
     """Execute ``conf`` on an existing (unused) cluster."""
     ctx = JobContext(cluster, conf)
-    tracker = JobTracker(ctx)
-    done = cluster.sim.process(tracker.run(), name="jobtracker")
+    if ctx.journal is not None:
+        # Master-resilience runs wrap the JobTracker in a supervisor that
+        # journals state transitions, injects master crash/stall faults,
+        # and drives the failover/recovery protocol across incarnations.
+        from repro.mapreduce.journal import MasterSupervisor
+
+        done = cluster.sim.process(MasterSupervisor(ctx).run(), name="jobtracker")
+    else:
+        tracker = JobTracker(ctx)
+        done = cluster.sim.process(tracker.run(), name="jobtracker")
     result: JobResult = cluster.sim.run(done)
     return result
 

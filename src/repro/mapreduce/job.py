@@ -209,6 +209,33 @@ class JobConf:
     #: unlucky flip on a healthy disk never quarantines a node).
     quarantine_min_failures: int = 4
 
+    # -- master resilience (write-ahead journal + lease-fenced recovery) -----------
+    # Same inert-by-default contract as every robustness block above: with
+    # master_journal off and no master entries in fault_plan, no journal is
+    # created, no master.* counters appear, and runs stay event-for-event
+    # identical to a build without this subsystem.
+    #
+    #: Write the job journal even without planned master faults (lets a
+    #: run be crash-recoverable "just in case", at the cost of the
+    #: journal flush I/O).  Forced on whenever the fault plan carries
+    #: master entries.
+    master_journal: bool = False
+    #: Seconds of master silence before TaskTrackers park (stop
+    #: reporting completions upward) and the supervisor declares the
+    #: incarnation dead.  A MasterStall shorter than this is survived.
+    master_lease_timeout: float = 1.5
+    #: Seconds between JobTracker heartbeats to the lease layer.
+    master_heartbeat_interval: float = 0.5
+    #: Seconds between master death being declared and the replacement
+    #: JobTracker starting journal replay (process restart + init cost).
+    master_restart_delay: float = 1.0
+    #: Seconds between journal group-commit flushes to HDFS.  Appends
+    #: between flushes are buffered (group commit); a crash loses none of
+    #: the *decisions* — replay is reconstructed from the journal object,
+    #: which models the durable tail — but the flush cadence sets the
+    #: recurring I/O charge the journal adds to the run.
+    master_journal_flush: float = 0.5
+
     # -- costs -------------------------------------------------------------------
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -277,6 +304,19 @@ class JobConf:
                 )
         if self.speculative_cap < 0:
             raise ValueError("speculative_cap must be >= 0")
+        if self.master_active:
+            if self.master_heartbeat_interval <= 0:
+                raise ValueError("master_heartbeat_interval must be positive")
+            if self.master_lease_timeout <= self.master_heartbeat_interval:
+                # A lease no longer than one heartbeat would expire
+                # between beats on a perfectly healthy master.
+                raise ValueError(
+                    "master_lease_timeout must exceed master_heartbeat_interval"
+                )
+            if self.master_restart_delay <= 0:
+                raise ValueError("master_restart_delay must be positive")
+            if self.master_journal_flush <= 0:
+                raise ValueError("master_journal_flush must be positive")
         if self.speculation_active:
             if self.speculative_threshold <= 1.0:
                 # LATE's lag bar: at threshold <= 1 every on-pace attempt
@@ -313,6 +353,13 @@ class JobConf:
     def control_active(self) -> bool:
         """Whether the closed-loop shuffle control plane runs."""
         return self.control_interval > 0
+
+    @property
+    def master_active(self) -> bool:
+        """Whether the job journal + master supervision layer runs."""
+        return self.master_journal or (
+            self.fault_plan is not None and self.fault_plan.has_master_faults
+        )
 
     @property
     def effective_merge_factor(self) -> int:

@@ -39,6 +39,19 @@ class JobTracker:
         self._slowstart_event = Event(self.sim)
         self._slowstart_target = 0
         self._reduce_done_times: list[float] = []
+        # Master resilience (repro.mapreduce.journal): the incarnation's
+        # fencing epoch (stamped on every journal append/commit), the full
+        # input block list (recovery reschedules uncommitted maps from it),
+        # and this incarnation's scheduling processes so a fail-over can
+        # halt the brain and abandon the workers.  All inert without a
+        # journal: epoch stays 0 and the proc lists are never consulted.
+        self.epoch = 0
+        self.start_time = 0.0
+        self._blocks: list[Block] = []
+        self._map_loop_procs: list[Any] = []
+        self._watcher_procs: list[Any] = []
+        self._reduce_wrapper_procs: list[Any] = []
+        self._control_proc: Any = None
         # Speculative execution bookkeeping: live attempts per map task.
         self._attempts: dict[int, list[Any]] = {}
         self._attempt_meta: dict[int, tuple[float, str, Block]] = {}
@@ -63,6 +76,19 @@ class JobTracker:
     # -- lifecycle -----------------------------------------------------------
 
     def run(self) -> Generator[Event, Any, JobResult]:
+        """The plain (journal-free) driver: one incarnation, start to end.
+
+        ``yield from`` is transparent to the event kernel, so this path
+        is event-for-event identical to the pre-split monolithic run().
+        Under master supervision (``ctx.journal``) the MasterSupervisor
+        calls setup()/execute()/finish() itself, re-running execute()
+        across incarnations.
+        """
+        yield from self.setup()
+        yield from self.execute()
+        return self.finish()
+
+    def setup(self) -> Generator[Event, Any, None]:
         ctx = self.ctx
         conf = ctx.conf
         provider_cls, consumer_cls = engine_by_name(conf.shuffle_engine)
@@ -75,6 +101,7 @@ class JobTracker:
             conf.block_bytes,
             replication=conf.input_replication,
         )
+        self._blocks = list(blocks)
         self.pending_maps = list(enumerate(blocks))
         self._slowstart_target = max(
             1, int(-(-conf.reduce_slowstart * len(blocks) // 1))
@@ -108,52 +135,85 @@ class JobTracker:
             # The closed-loop controller ticks for the duration of the job
             # (the timer pending when the job's done event stops the sim is
             # simply never processed).
-            self.sim.process(ctx.control.run(), name="control-plane")
+            self._control_proc = self.sim.process(
+                ctx.control.run(), name="control-plane"
+            )
 
         # Job setup (setup task, InputFormat split computation, ...).
         yield self.sim.timeout(conf.costs.job_overhead / 2.0)
-        start_time = self.sim.now
+        self.start_time = self.sim.now
 
-        trackers = list(ctx.trackers.values())
-        map_loops = [
-            self.sim.process(self._tt_map_loop(tt), name=f"{tt.name}-maploop")
-            for tt in trackers
-        ]
-        # Track slow-start via the (delayed) completion board.
-        self.sim.process(self._slowstart_watch(), name="slowstart")
-        if conf.speculation_active:
-            self.sim.process(self._speculation_watcher(), name="speculator")
+    def execute(self) -> Generator[Event, Any, bool]:
+        """One scheduling incarnation: map loops, slow-start, reducers.
 
-        # Launch reducers once slow-start is reached.
-        yield self._slowstart_event
-        reducers = []
-        for reduce_id in range(conf.n_reduces):
-            tt = trackers[reduce_id % len(trackers)]
-            reducers.append(
-                self.sim.process(
-                    self._reduce_wrapper(tt, reduce_id, consumer_cls),
-                    name=f"reduce-{reduce_id}",
+        Returns True when the job ran to completion, False when a master
+        crash interrupted this incarnation mid-flight (the supervisor
+        fails over and launches a fresh execute() on recovered state).
+        """
+        from repro.sim.core import Interrupted
+
+        ctx = self.ctx
+        conf = ctx.conf
+        try:
+            trackers = list(ctx.trackers.values())
+            self._map_loop_procs = [
+                self.sim.process(self._tt_map_loop(tt), name=f"{tt.name}-maploop")
+                for tt in trackers
+            ]
+            # Track slow-start via the (delayed) completion board.
+            self._watcher_procs = [
+                self.sim.process(self._slowstart_watch(), name="slowstart")
+            ]
+            if conf.speculation_active:
+                self._watcher_procs.append(
+                    self.sim.process(self._speculation_watcher(), name="speculator")
                 )
-            )
 
-        yield self.sim.all_of(map_loops + reducers)
-        if ctx.faults is not None:
-            # Re-execution drivers normally finish before the reducers that
-            # wait on their output; drain any stragglers so nothing leaks.
-            live = [p for p in self._reexec_procs if p.is_alive]
-            if live:
-                yield self.sim.all_of(live)
-        if self._spec_reduce_procs:
-            # A speculative backup may still be the winner mid-flight when
-            # every original wrapper has returned (its original was killed)
-            # — or a loser may still be unwinding its teardown.  The job
-            # is done only when the racers are.
-            live = [p for p in self._spec_reduce_procs if p.is_alive]
-            if live:
-                yield self.sim.all_of(live)
-        # Job cleanup.
-        yield self.sim.timeout(conf.costs.job_overhead / 2.0)
+            # Launch reducers once slow-start is reached.
+            yield self._slowstart_event
+            reducers = []
+            for reduce_id in range(conf.n_reduces):
+                if reduce_id in self._reduce_committed:
+                    continue  # journaled as committed by a prior incarnation
+                tt = trackers[reduce_id % len(trackers)]
+                reducers.append(
+                    self.sim.process(
+                        self._reduce_wrapper(tt, reduce_id, self._consumer_cls),
+                        name=f"reduce-{reduce_id}",
+                    )
+                )
+            self._reduce_wrapper_procs = reducers
 
+            yield self.sim.all_of(self._map_loop_procs + reducers)
+            if ctx.faults is not None:
+                # Re-execution drivers normally finish before the reducers
+                # that wait on their output; drain stragglers so nothing
+                # leaks.
+                live = [p for p in self._reexec_procs if p.is_alive]
+                if live:
+                    yield self.sim.all_of(live)
+            if self._spec_reduce_procs:
+                # A speculative backup may still be the winner mid-flight
+                # when every original wrapper has returned (its original
+                # was killed) — or a loser may still be unwinding its
+                # teardown.  The job is done only when the racers are.
+                live = [p for p in self._spec_reduce_procs if p.is_alive]
+                if live:
+                    yield self.sim.all_of(live)
+            # Job cleanup.
+            yield self.sim.timeout(conf.costs.job_overhead / 2.0)
+            return True
+        except Interrupted:
+            # Master crash: the scheduler brain halts right here.  Worker
+            # attempts keep running (real tasks outlive their JobTracker)
+            # until abandon() reaps them at lease expiry.
+            self._halt_brain()
+            return False
+
+    def finish(self) -> JobResult:
+        ctx = self.ctx
+        conf = ctx.conf
+        start_time = self.start_time
         counters = ctx.counters.as_dict()
         if ctx.faults is not None:
             # Make the recovery story legible in one place: every fault /
@@ -192,6 +252,20 @@ class JobTracker:
             # cause to act).  Present only when a speculative knob is set.
             for key, value in ctx.speculation.counters.as_dict().items():
                 counters[f"speculation.{key}"] = value
+        if ctx.journal is not None:
+            # Master-resilience tally (key set pre-seeded; epoch 1 with
+            # zero fenced appends = the master never went down).  Present
+            # only when the journal ran, keeping knob-free exports
+            # bit-identical.
+            for key in (
+                "reduce.commit_rejected",
+                "reduce.master_lost",
+                "master.tt_parked",
+            ):
+                counters.setdefault(key, 0.0)
+            for key, value in ctx.journal.counters.as_dict().items():
+                counters[f"journal.{key}"] = value
+            counters["master.epochs"] = float(ctx.journal.epoch + 1)
         if conf.backpressure_active:
             # Stable backpressure/spill key set when any flow-control knob
             # is on (0 = the pressure never materialised); absent on
@@ -235,6 +309,8 @@ class JobTracker:
             phase_report["control"] = ctx.control.report()
         if ctx.speculation is not None:
             phase_report["speculation"] = ctx.speculation.report()
+        if ctx.journal is not None:
+            phase_report["recovery"] = ctx.journal.report()
 
         return JobResult(
             conf=conf,
@@ -260,6 +336,107 @@ class JobTracker:
             phase_report=phase_report,
         )
 
+    # -- master resilience (journal-armed runs only) -----------------------------
+
+    def _halt_brain(self) -> None:
+        """Stop every scheduler-side process of this incarnation.
+
+        Worker attempts are deliberately NOT touched here: real map/reduce
+        tasks outlive a JobTracker crash and are only reaped by abandon()
+        once the lease expires.
+        """
+        me = self.sim.active_process
+        for proc in self._map_loop_procs + self._watcher_procs:
+            if proc is not me and proc.is_alive:
+                proc.interrupt("master-crash")
+        self._map_loop_procs = []
+        self._watcher_procs = []
+        if self._control_proc is not None and self._control_proc.is_alive:
+            self._control_proc.interrupt("master-crash")
+        self._control_proc = None
+
+    def abandon(self, cause: str) -> list[Any]:
+        """Interrupt every live worker-side process; return those still live.
+
+        Called by the supervisor after the lease expires: attempts that ran
+        headless during the down window are torn down so the next
+        incarnation starts from journaled + TT-storage truth only.
+        """
+        me = self.sim.active_process
+        procs: dict[int, Any] = {}
+        for plist in self._attempts.values():
+            for proc in plist:
+                procs[id(proc)] = proc
+        for proc in self._reexec_procs:
+            procs[id(proc)] = proc
+        for proc in self._reduce_wrapper_procs:
+            procs[id(proc)] = proc
+        for plist in self._reduce_attempt_procs.values():
+            for proc in plist:
+                procs[id(proc)] = proc
+        for proc in self._spec_reduce_procs:
+            procs[id(proc)] = proc
+        live = []
+        for proc in procs.values():
+            if proc is me or not proc.is_alive:
+                continue
+            proc.interrupt(cause)
+            live.append(proc)
+        return live
+
+    def recover(self, recovery: Any) -> None:
+        """Rebuild scheduler state for a fresh execute() incarnation.
+
+        ``recovery`` is the journal's RecoveryState; TT-side truth
+        (surviving map outputs) has already been re-registered into
+        ctx.map_outputs by the supervisor's rebuild pass.
+        """
+        from repro.sim.core import Event
+
+        ctx = self.ctx
+        self.epoch = ctx.journal.epoch
+        self._reduce_committed = set(recovery.committed_reduces)
+        self._reduce_done_times = sorted(
+            t for _a, _b, t in recovery.committed_reduces.values()
+        )
+        # Attempt numbering must never restart: journaled floor vs. what
+        # this incarnation saw in memory (down-window allocations were
+        # fenced out of the journal, so the in-memory view can be ahead).
+        for reduce_id, seq in recovery.reduce_attempt_seq.items():
+            self._reduce_attempt_seq[reduce_id] = max(
+                self._reduce_attempt_seq.get(reduce_id, 0), seq
+            )
+        # Only maps without a surviving registered output are rescheduled.
+        self.pending_maps = [
+            (i, b) for i, b in enumerate(self._blocks) if i not in ctx.map_outputs
+        ]
+        # Survivors keep attempt metadata so fetch-failure condemnation and
+        # re-execution still know where the output lives.
+        for map_id, meta in ctx.map_outputs.items():
+            old = self._attempt_meta.get(map_id)
+            started = old[0] if old is not None else 0.0
+            self._attempt_meta[map_id] = (started, meta.host, self._blocks[map_id])
+        self._attempts = {}
+        self._speculated = set()
+        self._reduce_speculated = set()
+        self._reduce_attempt_procs = {}
+        self._reduce_lose = {}
+        self._spec_reduce_procs = []
+        self._reexec_pending = set()
+        self._reexec_procs = []
+        self._map_loop_procs = []
+        self._watcher_procs = []
+        self._reduce_wrapper_procs = []
+        self._slowstart_target = max(
+            1,
+            int(-(-ctx.conf.reduce_slowstart * len(self._blocks) // 1)),
+        )
+        self._slowstart_event = Event(self.sim)
+        if ctx.control is not None:
+            self._control_proc = self.sim.process(
+                ctx.control.run(), name=f"control-plane-e{self.epoch}"
+            )
+
     # -- map scheduling ----------------------------------------------------------
 
     def _pick_map(self, tt: TaskTracker) -> tuple[int, Block] | None:
@@ -273,10 +450,17 @@ class JobTracker:
         return self.pending_maps.pop(0)
 
     def _tt_map_loop(self, tt: TaskTracker) -> Generator[Event, Any, None]:
+        from repro.sim.core import Interrupted
+
         launched: list[Event] = []
         while self.pending_maps:
             slot = tt.map_slots.request()
-            yield slot
+            try:
+                yield slot
+            except Interrupted:
+                # Master crash while queued for a slot: withdraw quietly.
+                slot.cancel()
+                return
             if self.ctx.faults is not None and self.ctx.faults.node_dead(tt.name):
                 # This TaskTracker is gone; leave remaining maps to the
                 # healthy loops (and the re-execution path).
@@ -293,7 +477,11 @@ class JobTracker:
             self._attempt_meta[task[0]] = (self.sim.now, tt.name, task[1])
             launched.append(proc)
         if launched:
-            yield self.sim.all_of(launched)
+            try:
+                yield self.sim.all_of(launched)
+            except Interrupted:
+                # Master crash: stop tracking, leave attempts to abandon().
+                return
 
     def _map_wrapper(
         self, tt: TaskTracker, task: tuple[int, Block], slot: Any
@@ -387,6 +575,13 @@ class JobTracker:
         duplicate reports (re-execution already pending) are ignored.
         """
         ctx = self.ctx
+        if ctx.journal is not None and ctx.journal.master_down:
+            # Nobody is listening: real TaskTrackers queue fetch-failure
+            # notifications for a heartbeat that never comes.  The reducer
+            # retries against surviving replicas; condemnation waits for
+            # the next incarnation.
+            ctx.journal.counters.add("reports_dropped", 1)
+            return
         map_id = meta.map_id
         cur = ctx.map_outputs.get(map_id)
         if cur is not None and cur is not meta:
@@ -398,6 +593,8 @@ class JobTracker:
                 self._relaunch_lost_map(map_id, self._attempt_meta[map_id][2])
             return
         ctx.counters.add("map.lost_outputs", 1)
+        if ctx.journal is not None:
+            ctx.journal.append("map_condemned", map_id=map_id, host=cur.host)
         del ctx.map_outputs[map_id]
         if ctx.integrity is not None:
             # Re-execution is the recovery for a rotten on-disk output:
@@ -446,13 +643,17 @@ class JobTracker:
             self._attempt_meta[map_id] = (self.sim.now, tt.name, block)
             yield from self._map_wrapper(tt, (map_id, block), slot)
             slot = None  # _map_wrapper released it
-        except Interrupted:
+        except Interrupted as exc:
             # The re-execution host crashed too (or a speculative sibling
             # won while we waited for a slot).
             if slot is not None:
                 slot.cancel()  # safe whether or not the slot was granted
                 slot = None
             self._reexec_pending.discard(map_id)
+            if exc.cause == "master-crash":
+                # No relaunch from a dead master: the next incarnation
+                # reschedules this map from journaled/TT-storage truth.
+                return
             if map_id not in ctx.map_outputs:
                 self._relaunch_lost_map(map_id, block)
             return
@@ -505,19 +706,27 @@ class JobTracker:
         placement that reuses the scheduler's quarantine/steering rules.
         First attempt to finish commits; the loser is killed, not failed.
         """
+        from repro.sim.core import Interrupted
+
         ctx = self.ctx
         conf = ctx.conf
         spec = ctx.speculation
-        while True:
-            yield self.sim.timeout(conf.speculative_interval)
-            spec.counters.add("scans", 1)
-            if conf.speculative_execution:
-                yield from self._speculate_maps()
-            if conf.speculative_reduces:
-                self._speculate_reduces()
+        try:
+            while True:
+                yield self.sim.timeout(conf.speculative_interval)
+                spec.counters.add("scans", 1)
+                if conf.speculative_execution:
+                    yield from self._speculate_maps()
+                if conf.speculative_reduces:
+                    self._speculate_reduces()
+        except Interrupted:
+            # Master crash: the scan loop dies with its incarnation.
+            return
 
     def _speculate_maps(self) -> Generator[Event, Any, None]:
         """One LATE map scan: back up the slowest-rate lagging attempt."""
+        from repro.sim.core import Interrupted
+
         ctx = self.ctx
         conf = ctx.conf
         spec = ctx.speculation
@@ -549,7 +758,12 @@ class JobTracker:
         block = self._attempt_meta[map_id][2]
         self._speculated.add(map_id)
         slot = backup_tt.map_slots.request()
-        yield slot
+        try:
+            yield slot
+        except Interrupted:
+            # Master crash while queued: withdraw, let the watcher unwind.
+            slot.cancel()
+            raise
         if map_id in ctx.map_outputs:
             # The original committed while we waited for a slot.
             backup_tt.map_slots.release(slot)
@@ -558,6 +772,10 @@ class JobTracker:
         spec.note_backup(
             "map", map_id, pick.node, backup_tt.name, pick.est_total(self.sim.now)
         )
+        if ctx.journal is not None:
+            ctx.journal.append(
+                "speculation", task_kind="map", task_id=map_id, backup=backup_tt.name
+            )
         proc = self.sim.process(
             self._map_wrapper(backup_tt, (map_id, block), slot),
             name=f"map-{map_id}-backup",
@@ -600,6 +818,13 @@ class JobTracker:
         spec.note_backup(
             "reduce", reduce_id, pick.node, backup_tt.name, pick.est_total(self.sim.now)
         )
+        if ctx.journal is not None:
+            ctx.journal.append(
+                "speculation",
+                task_kind="reduce",
+                task_id=reduce_id,
+                backup=backup_tt.name,
+            )
         proc = self.sim.process(
             self._reduce_wrapper(backup_tt, reduce_id, self._consumer_cls),
             name=f"reduce-{reduce_id}-backup",
@@ -640,11 +865,17 @@ class JobTracker:
         return min(pool, key=load)
 
     def _slowstart_watch(self) -> Generator[Event, Any, None]:
+        from repro.sim.core import Interrupted
+
         inbox = self.ctx.board.subscribe()
         seen = 0
-        while seen < self._slowstart_target:
-            yield inbox.get()
-            seen += 1
+        try:
+            while seen < self._slowstart_target:
+                yield inbox.get()
+                seen += 1
+        except Interrupted:
+            # Master crash: the fresh incarnation starts its own watch.
+            return
         self._slowstart_event.succeed()
 
     # -- reducers -------------------------------------------------------------------
@@ -660,6 +891,13 @@ class JobTracker:
         """
         n = self._reduce_attempt_seq.get(reduce_id, 0)
         self._reduce_attempt_seq[reduce_id] = n + 1
+        if self.ctx.journal is not None:
+            # Journaled so replay restores the allocator floor: a recovered
+            # master must never reuse an attempt id (output files and RNG
+            # stream names are attempt-scoped).
+            self.ctx.journal.append(
+                "reduce_attempt_started", reduce_id=reduce_id, attempt=n
+            )
         return n
 
     def _commit_reduce(
@@ -676,6 +914,15 @@ class JobTracker:
 
         ctx = self.ctx
         if reduce_id in self._reduce_committed:
+            self._teardown_losing_reduce(consumer, tt, reduce_id, attempt, started)
+            return False
+        if ctx.journal is not None and not ctx.journal.commit_reduce(
+            self.epoch, reduce_id, attempt, consumer.bytes_reduced, tt.name
+        ):
+            # Fenced (zombie epoch / master down) or already durably
+            # committed by an earlier incarnation: the journal is the
+            # commit authority, so this finisher is torn down as a loser.
+            ctx.counters.add("reduce.commit_rejected", 1)
             self._teardown_losing_reduce(consumer, tt, reduce_id, attempt, started)
             return False
         self._reduce_committed.add(reduce_id)
@@ -748,6 +995,52 @@ class JobTracker:
             ctx.integrity.note_migrated(tt.name, reduce_id)
         if ctx.speculation is not None:
             ctx.speculation.note_loser("reduce", reduce_id, tt.name, wasted)
+
+    def _teardown_orphaned_reduce(
+        self, consumer: Any, run_proc: Any, race_ev: Any, tt: TaskTracker,
+        reduce_id: int, attempt: int | None, started: float,
+    ) -> Generator[Event, Any, None]:
+        """Unwind a reduce attempt orphaned by a master crash.
+
+        Killed, not failed — and unlike a speculative loser, nothing may
+        be journaled: the attempt's partial output is discarded so the
+        next incarnation restarts the reduce from scratch.
+        """
+        from repro.mapreduce.maptask import TaskFailure
+        from repro.sim.core import Interrupted
+        from repro.tools.timeline import TaskSpan
+
+        ctx = self.ctx
+        if race_ev is not None:
+            # Detach the abandoned crash/migrate race from its children:
+            # our interrupt already detached the waiter, and a child
+            # failing into a waiterless condition would crash the kernel.
+            race_ev.defuse()
+        if attempt is not None:
+            ctx.spans.append(
+                TaskSpan(
+                    "reduce", reduce_id, attempt, tt.name, started, self.sim.now,
+                    ok=False, killed=True,
+                )
+            )
+        ctx.counters.add("reduce.master_lost", 1)
+        if consumer is None:
+            return
+        if not consumer.aborted:
+            consumer.cancel("master-crash")
+        if run_proc is not None and run_proc.is_alive:
+            run_proc.interrupt("master-crash")
+            try:
+                yield run_proc
+            except (TaskFailure, Interrupted):
+                pass
+        # Attempt-scoped output names make the unlink safe: committed
+        # winners live under different (journaled) file names.
+        ctx.dfs.delete_file(consumer.output_file)
+        if ctx.integrity is not None:
+            # Settle the abandoned attempt's in-flight wire exchanges and
+            # staged artifacts so open detections don't dangle.
+            ctx.integrity.note_migrated(tt.name, reduce_id)
 
     def _reduce_wrapper(
         self, tt: TaskTracker, reduce_id: int, consumer_cls: type
@@ -864,6 +1157,11 @@ class JobTracker:
         while True:
             if reduce_id in self._reduce_committed:
                 return  # a racing sibling committed while we relocated
+            if ctx.journal is not None and ctx.journal.master_down:
+                # Headless: a kill-path interrupt can be swallowed by the
+                # inner drain below, so the loop re-checks before every
+                # (re)launch.  The next incarnation reschedules this reduce.
+                return
             if failed_attempts >= ctx.conf.max_task_attempts:
                 raise RuntimeError(
                     f"reduce {reduce_id} exceeded "
@@ -873,10 +1171,18 @@ class JobTracker:
                 tt = self._pick_reduce_tracker(reduce_id)
                 relocate = False
             slot = tt.reduce_slots.request()
-            yield slot
+            try:
+                yield slot
+            except Interrupted:
+                # Master crash while queued: withdraw; nothing started.
+                slot.cancel()
+                return
             attempt = None
             consumer = None
             lose = None
+            run_proc = None
+            race_ev = None
+            started = self.sim.now
             try:
                 if faults.node_dead(tt.name):
                     continue  # crashed while we queued; move elsewhere
@@ -917,8 +1223,9 @@ class JobTracker:
                     race.append(migrate)
                 if lose is not None:
                     race.append(lose)
+                race_ev = self.sim.any_of(race)
                 try:
-                    yield self.sim.any_of(race)
+                    yield race_ev
                 except TaskFailure:
                     # The consumer died first (injected reduce failure or
                     # its own node lost mid-fetch).
@@ -1006,6 +1313,14 @@ class JobTracker:
                     raise exc
                 if not self._commit_reduce(consumer, tt, reduce_id, attempt, started):
                     return  # lost the race by a nose; torn down as loser
+                return
+            except Interrupted:
+                # Master crash mid-attempt (startup compute or parked on
+                # the race): the brain is gone, so nothing may commit or
+                # relaunch.  Tear the orphaned attempt down and park.
+                yield from self._teardown_orphaned_reduce(
+                    consumer, run_proc, race_ev, tt, reduce_id, attempt, started
+                )
                 return
             finally:
                 if ctx.control is not None:

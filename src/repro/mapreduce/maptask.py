@@ -124,10 +124,13 @@ def run_map_task(
             out_unit = unit * expansion
             spill = node.fs.create(f"spill/m{map_id}/{spill_index}")
             spill_index += 1
+            # Track the spill *before* the write: an interrupt landing
+            # mid-write must still find it in cleanup_spills(), or the
+            # orphan collides with a later attempt on this node.
+            spills.append(spill)
             yield from node.fs.write(
                 spill, out_unit, stream_id=f"mapspill-m{map_id}"
             )
-            spills.append(spill)
             ctx.counters.add("map.spill_bytes", out_unit)
             if ctx.speculation is not None:
                 # Map progress = fraction of the split consumed (LATE).

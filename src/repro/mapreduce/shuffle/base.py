@@ -252,16 +252,24 @@ class ShuffleConsumer:
         will wait on them once the attempt is abandoned.
         """
         self.aborted = True
-        if self._gather is not None and not self._gather.triggered:
+        if self._gather is not None:
             # run()'s waiter is torn down with the attempt; the children we
             # interrupt below would fail this condition with nobody left to
-            # catch it.
+            # catch it.  Defuse even a gather that already failed: the
+            # interrupt below detaches run()'s resume callback before the
+            # gather's failure event pops, leaving it waiterless.
             self._gather.defuse()
         active = self.ctx.sim.active_process
         for proc in self._children:
-            if proc.is_alive and proc is not active:
+            if proc is active:
+                continue
+            if proc.is_alive:
                 proc.interrupt(cause)
-                proc.defuse()
+            # Defuse dead children too: a child that already failed in
+            # this same timestep (e.g. a copier noticing its node died
+            # the instant it spawned) has a failure event in flight that
+            # nothing will wait on once the attempt is abandoned.
+            proc.defuse()
         self.on_cancel()
 
     def on_cancel(self) -> None:
@@ -317,6 +325,11 @@ class ShuffleConsumer:
         if streak >= conf.penalty_box_after and streak % conf.penalty_box_after == 0:
             self._penalty_until[host] = ctx.sim.now + conf.penalty_box_secs
             ctx.counters.add("shuffle.retry.penalty_boxed", 1)
+            journal = getattr(ctx, "journal", None)
+            if journal is not None:
+                # Journaled so a recovered master re-learns which hosts
+                # its reducers had boxed (observability across failover).
+                journal.append("penalty_box", reduce_id=self.reduce_id, host=host)
         ctx.counters.add("shuffle.retry.backoff_seconds", delay)
         return delay
 

@@ -33,6 +33,10 @@ class TaskTracker:
         self.map_outputs: dict[int, tuple[MapOutputMeta, LocalFile]] = {}
         #: Installed by the job driver once the engine is chosen.
         self.provider: "ShuffleProvider | None" = None
+        #: Master resilience: set while the JobTracker lease is expired
+        #: (the tracker holds finished work locally and re-registers with
+        #: the recovered master); always False on journal-free runs.
+        self.parked = False
 
     @property
     def name(self) -> str:
@@ -49,6 +53,16 @@ class TaskTracker:
             self.node.fs.delete(file.name)
             self.ctx.counters.add("map.speculative_wasted", 1)
             return False
+        if self.ctx.journal is not None and self.ctx.journal.master_down:
+            # Master silence: the heartbeat that would report this
+            # completion never leaves the tracker.  The output is kept
+            # (and served) locally; the recovered master finds it during
+            # its TT-storage scan and registers it then.
+            self.map_outputs[meta.map_id] = (meta, file)
+            if self.provider is not None:
+                self.provider.on_map_output(meta, file)
+            self.ctx.journal.counters.add("completions_unreported", 1)
+            return True
         self.map_outputs[meta.map_id] = (meta, file)
         if self.provider is not None:
             self.provider.on_map_output(meta, file)

@@ -59,13 +59,15 @@ def bench_payload(fig: "FigureResult", scale: float | None = None) -> dict[str, 
 
 
 def write_json_atomic(payload: Any, path: str | os.PathLike[str]) -> str:
-    """Write JSON to ``path`` atomically (temp file + ``os.replace``).
+    """Write JSON to ``path`` atomically and durably.
 
     Concurrent writers — parallel sweep workers, benchmark shards
     sharing one ``REPRO_BENCH_OUT`` directory — can race on the same
     document; the rename guarantees a reader never observes interleaved
     or truncated JSON, only one writer's complete output (last replace
-    wins).
+    wins).  The temp file is fsynced before the rename and the directory
+    after it, so the document survives host crash, not just process
+    crash — journal spool segments rely on this.
     """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
@@ -77,7 +79,22 @@ def write_json_atomic(payload: Any, path: str | os.PathLike[str]) -> str:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp_path, path)
+        # Persist the rename itself: without the directory fsync the
+        # entry can vanish on power loss even though the data blocks hit
+        # the platter.  Not every platform lets you open a directory
+        # (e.g. Windows); degrade to rename-only durability there.
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            dir_fd = None
+        if dir_fd is not None:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp_path)

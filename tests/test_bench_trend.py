@@ -165,6 +165,7 @@ def test_gate_registry_covers_every_non_figure_benchmark():
         "faults",
         "skew",
         "integrity",
+        "master",
         "control",
         "stragglers",
         "sweep",
@@ -188,6 +189,26 @@ def test_slowdown_gates_are_registry_driven(dirs):
         "BENCH_integrity.json" in p and "corruption slowdown rose" in p
         for p in problems
     )
+
+
+def _master_doc(rdma: float, agree: bool = True) -> dict:
+    return {**_slowdown_doc("master", rdma), "output_bytes_agree": agree}
+
+
+def test_master_gate_requires_identical_output(dirs):
+    fresh, base = dirs
+    _write(base, "BENCH_master.json", _master_doc(1.2))
+    # Even a faster recovery fails if the commit protocol broke the bytes.
+    _write(fresh, "BENCH_master.json", _master_doc(1.1, agree=False))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.5)
+    assert problems and "output_bytes_agree" in problems[0]
+    # With byte-identity intact only a clear slowdown regression fails.
+    _write(fresh, "BENCH_master.json", _master_doc(1.1))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.5)
+    assert problems == []
+    _write(fresh, "BENCH_master.json", _master_doc(2.5))
+    problems, _ = bench_trend.check(fresh, base, tolerance=0.5)
+    assert problems and "master-crash slowdown rose" in problems[0]
 
 
 def test_control_floor_is_absolute(dirs):

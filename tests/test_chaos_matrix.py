@@ -1,0 +1,130 @@
+"""Chaos-matrix soak: every fault family at once, one plan, one job.
+
+The individual suites pin each failure mode in isolation (corruption in
+``test_integrity``, degradation in ``test_stragglers``, worker crashes
+in the chaos benchmark, master crashes in ``test_master_recovery``).
+This suite turns everything on together — silent corruption + a
+degraded node + a worker crash + a JobTracker crash in a single
+deterministic schedule — because the recovery planes share machinery
+(quarantine re-application across the failover, condemned outputs on a
+node that later dies, commits racing the master lease) that only a
+combined run exercises.
+
+Invariants: the job completes, the committed output is byte-identical
+to the fault-free run, the integrity ledger settles (every detection
+recovered, nothing pending), and the whole circus is deterministic.
+"""
+
+import functools
+
+import pytest
+
+from repro.cluster import westmere_cluster
+from repro.faults import (
+    DiskCorruption,
+    FaultPlan,
+    MasterCrash,
+    NodeCrash,
+    NodeSlowdown,
+    WireCorruption,
+)
+from repro.mapreduce import run_job, terasort_job
+
+GB = 1024**3
+MB = 1024**2
+
+ENGINES = ["http", "hadoopa", "rdma"]
+
+SIZE = int(0.5 * GB)
+
+#: Recovery knobs scaled down to these small test jobs.
+FAST_KNOBS = dict(
+    fetch_backoff_base=0.2, fetch_backoff_max=1.5, penalty_box_secs=1.5
+)
+
+
+def chaos_plan(hint: float) -> FaultPlan:
+    """One schedule touching every fault family, scaled off ``hint``.
+
+    The master dies first (40% in — recovery must happen with the
+    corruption and slowdown still live), then a worker crashes at 55%
+    (its committed outputs condemn and re-execute on survivors).
+    """
+    return FaultPlan(
+        crashes=(NodeCrash(at=0.55 * hint, node="node02"),),
+        disk_corruptions=(DiskCorruption(node="node01", rate=0.2),),
+        wire_corruptions=(WireCorruption(node="node00", rate=0.01),),
+        slowdowns=(
+            NodeSlowdown(at=0.1 * hint, node="node01", duration=0.5 * hint, factor=2.0),
+        ),
+        master_crashes=(MasterCrash(at=0.4 * hint),),
+        name="chaos-matrix",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def clean_run(engine):
+    conf = terasort_job(SIZE, 3, engine, block_bytes=64 * MB)
+    return run_job(westmere_cluster(3), "ipoib", conf, seed=11)
+
+
+@functools.lru_cache(maxsize=None)
+def chaos_run(engine):
+    hint = clean_run(engine).execution_time
+    conf = terasort_job(
+        SIZE,
+        3,
+        engine,
+        block_bytes=64 * MB,
+        fault_plan=chaos_plan(hint),
+        **FAST_KNOBS,
+    )
+    return run_job(westmere_cluster(3), "ipoib", conf, seed=11)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_every_fault_family_fires(engine):
+    c = chaos_run(engine).counters
+    assert c["faults.node_crashes"] == 1
+    assert c["faults.master_crashes"] == 1
+    assert c["faults.node_slowdowns"] == 1
+    assert c["integrity.detected"] > 0, "corruption never bit"
+    assert c["master.epochs"] == 2.0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_chaos_output_byte_identical(engine):
+    clean = clean_run(engine)
+    chaos = chaos_run(engine)
+    c = chaos.counters
+    assert c["reduce.completed"] == chaos.conf.n_reduces
+    assert c["reduce.committed_output_bytes"] == pytest.approx(
+        clean.counters["reduce.output_bytes"], rel=1e-9
+    )
+    assert c["journal.double_commits_prevented"] == 0.0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_chaos_integrity_ledger_settled(engine):
+    chaos = chaos_run(engine)
+    c = chaos.counters
+    assert c["integrity.detected"] == c["integrity.recovered"], (
+        f"unrecovered detections: {chaos.phase_report.get('integrity')}"
+    )
+    assert chaos.phase_report["integrity"]["pending"] == 0.0
+
+
+def test_chaos_deterministic_same_seed():
+    a = chaos_run("rdma")
+    hint = clean_run("rdma").execution_time
+    conf = terasort_job(
+        SIZE,
+        3,
+        "rdma",
+        block_bytes=64 * MB,
+        fault_plan=chaos_plan(hint),
+        **FAST_KNOBS,
+    )
+    b = run_job(westmere_cluster(3), "ipoib", conf, seed=11)
+    assert a.execution_time == b.execution_time
+    assert a.counters == b.counters

@@ -69,7 +69,7 @@ class Gate:
     what: str = ""  # max_slowdowns: slowdown description
     floor: float | None = None  # min_speedup: absolute floor
     floor_message: str = ""
-    require_true: tuple[str, ...] = ()  # min_speedup: invariant keys
+    require_true: tuple[str, ...] = ()  # invariant keys (must be truthy)
     cpu_aware: bool = False  # min_speedup: skip when cpus < workers
     baseline_keys: tuple[str, ...] = ()
 
@@ -103,6 +103,15 @@ GATES: dict[str, Gate] = {
         tolerance=0.3,
         what="corruption",
         baseline_keys=("slowdowns",),
+    ),
+    # Master-crash failover, around 1.1-1.3x; byte-identical committed
+    # output across the crash is absolute.
+    "master": Gate(
+        kind="max_slowdowns",
+        tolerance=0.5,
+        what="master-crash",
+        require_true=("output_bytes_agree",),
+        baseline_keys=("slowdowns", "output_bytes_agree"),
     ),
     # Best-static / controller, around 1.1x; the >= 1 floor is absolute.
     "control": Gate(
@@ -200,6 +209,11 @@ def _gate_max_slowdowns(
     name: str, fresh: dict, base: dict, gate: Gate, tolerance: float
 ) -> tuple[list[str], list[str]]:
     problems = []
+    for key in gate.require_true:
+        if not fresh.get(key):
+            problems.append(
+                f"{name}: {key} is {fresh.get(key)!r} (must hold unconditionally)"
+            )
     want = base.get("slowdowns", {})
     got = fresh.get("slowdowns", {})
     if not want:
